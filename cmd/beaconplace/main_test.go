@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	out, err := runToString(t, "-preset", "paper15", "-seed", "1", "-method", "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"thiran:", "greedy:", "ilp:", "probes", "|V_B| = 15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The ILP line must claim optimality.
+	if !strings.Contains(out, "(optimal: true)") {
+		t.Errorf("ILP not optimal:\n%s", out)
+	}
+}
+
+func TestRunRestrictedCandidates(t *testing.T) {
+	out, err := runToString(t, "-preset", "paper15", "-candidates", "5", "-method", "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|V_B| = 5") {
+		t.Errorf("candidate restriction ignored:\n%s", out)
+	}
+}
+
+func TestRunSingleMethods(t *testing.T) {
+	for _, m := range []string{"thiran", "greedy", "ilp"} {
+		out, err := runToString(t, "-preset", "paper10", "-method", m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !strings.Contains(out, m+":") {
+			t.Errorf("%s: header missing:\n%s", m, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad preset": {"-preset", "nope"},
+		"bad method": {"-method", "nope"},
+		"bad flag":   {"-bogus"},
+	} {
+		if _, err := runToString(t, args...); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command passiveplace solves the Partial Passive Monitoring problem
+// PPM(k) (§4) on a generated or loaded POP and prints the chosen links.
+//
+// Usage:
+//
+//	passiveplace -preset paper10 -seed 1 -k 0.95 -method ilp
+//	passiveplace -map pop.map -k 1 -method greedy-load
+//	passiveplace -preset paper10 -k 0.9 -method ilp -budget 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cover"
+	"repro/internal/passive"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "passiveplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("passiveplace", flag.ContinueOnError)
+	preset := fs.String("preset", "paper10", "paper10|paper15|paper29|paper80")
+	mapFile := fs.String("map", "", "load topology from a Rocketfuel-style map instead of generating")
+	seed := fs.Int64("seed", 0, "generation seed (topology and traffic)")
+	k := fs.Float64("k", 1.0, "fraction of traffic to monitor, in (0,1]")
+	method := fs.String("method", "ilp", "greedy-load|greedy-gain|flow|ilp|exact")
+	budget := fs.Int("budget", 0, "with -method ilp: maximum number of devices (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pop *topology.POP
+	if *mapFile != "" {
+		f, err := os.Open(*mapFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pop, err = topology.Parse(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg, err := presetConfig(*preset)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = *seed
+		pop = topology.Generate(cfg)
+	}
+
+	demands := traffic.Demands(pop, traffic.Config{Seed: *seed})
+	in, err := traffic.Route(pop, demands)
+	if err != nil {
+		return err
+	}
+
+	var pl passive.Placement
+	switch *method {
+	case "greedy-load":
+		pl = passive.GreedyLoad(in, *k)
+	case "greedy-gain":
+		pl = passive.GreedyGain(in, *k)
+	case "flow":
+		pl = passive.FlowHeuristic(in, *k)
+	case "exact":
+		pl = passive.ExactCover(in, *k, cover.ExactOptions{})
+	case "ilp":
+		pl, err = passive.SolveILP(in, *k, passive.ILPOptions{Budget: *budget})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	fmt.Fprintf(out, "# PPM(k=%.2f) on %d routers / %d links / %d traffics (method %s)\n",
+		*k, pop.Routers(), pop.G.NumEdges(), len(in.Traffics), pl.Method)
+	fmt.Fprintf(out, "devices: %d  coverage: %.2f%%  provably-optimal: %v\n",
+		pl.Devices(), pl.Fraction*100, pl.Exact)
+	loads := in.EdgeLoads()
+	fmt.Fprintf(out, "%-6s %-14s %-14s %12s\n", "link", "from", "to", "load")
+	for _, e := range pl.Edges {
+		edge := in.G.Edge(e)
+		fmt.Fprintf(out, "%-6d %-14s %-14s %12.1f\n",
+			e, in.G.Label(edge.U), in.G.Label(edge.V), loads[e])
+	}
+	return nil
+}
+
+func presetConfig(name string) (topology.Config, error) {
+	switch name {
+	case "paper10":
+		return topology.Paper10, nil
+	case "paper15":
+		return topology.Paper15, nil
+	case "paper29":
+		return topology.Paper29, nil
+	case "paper80":
+		return topology.Paper80, nil
+	}
+	return topology.Config{}, fmt.Errorf("unknown preset %q", name)
+}

@@ -1,0 +1,129 @@
+// Command repro regenerates every figure of the paper's evaluation
+// section as text series (see DESIGN.md §3 and EXPERIMENTS.md for the
+// paper-versus-measured comparison).
+//
+// Usage:
+//
+//	repro -figure fig7            # one figure to stdout
+//	repro -figure all -seeds 20   # everything, paper-strength averaging
+//	repro -figure fig6 -dot fig6.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	figure := fs.String("figure", "all", "fig6|fig7|fig8|fig9|fig10|fig11|ppme|samplers|large150|dynamic|replay|all")
+	seeds := fs.Int("seeds", experiments.DefaultSeeds, "runs per point (the paper uses 20)")
+	dotFile := fs.String("dot", "", "with -figure fig6: also write a Graphviz rendering here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wants := func(name string) bool { return *figure == "all" || *figure == name }
+	printed := false
+	emit := func(s *stats.Series) error {
+		if printed {
+			fmt.Fprintln(out)
+		}
+		printed = true
+		return s.Write(out)
+	}
+
+	if wants("fig6") {
+		var dot io.Writer
+		if *dotFile != "" {
+			f, err := os.Create(*dotFile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			dot = f
+		}
+		if printed {
+			fmt.Fprintln(out)
+		}
+		printed = true
+		if err := experiments.Fig6(1, out, dot); err != nil {
+			return err
+		}
+	}
+	type figFn struct {
+		name string
+		fn   func(int) *stats.Series
+	}
+	for _, f := range []figFn{
+		{"fig7", experiments.Fig7},
+		{"fig8", experiments.Fig8},
+		{"fig9", experiments.Fig9},
+		{"fig10", experiments.Fig10},
+		{"fig11", experiments.Fig11},
+		{"ppme", experiments.PPMECost},
+		{"samplers", func(int) *stats.Series { return experiments.SamplerBias(1) }},
+		{"large150", experiments.Large150},
+	} {
+		if !wants(f.name) {
+			continue
+		}
+		if err := emit(f.fn(*seeds)); err != nil {
+			return err
+		}
+	}
+	if wants("dynamic") {
+		if printed {
+			fmt.Fprintln(out)
+		}
+		printed = true
+		fmt.Fprintln(out, "# §5.4: dynamic traffic — PPME* rate adaptation under ±45% drift per round")
+		fmt.Fprintf(out, "%-6s %-8s %-12s %-12s %-12s %-12s\n",
+			"seed", "rounds", "recomputes", "min cover", "final cover", "reopt time")
+		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
+			res, err := experiments.Dynamic(seed, 10, 0.45)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-6d %-8d %-12d %11.2f%% %11.2f%% %12v\n",
+				seed, res.Rounds, res.Recomputes, res.MinCoverage*100, res.FinalCoverage*100, res.ReoptTime)
+		}
+	}
+	if wants("replay") {
+		if printed {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintln(out, "# validation: packet replay of PPME solutions (promised vs achieved coverage)")
+		fmt.Fprintf(out, "%-6s %-6s %-12s %-12s\n", "seed", "k", "promised", "achieved")
+		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
+			prom, ach, err := experiments.ReplayCheck(seed, 0.9)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-6d %-6.2f %11.2f%% %11.2f%%\n", seed, 0.9, prom*100, ach*100)
+		}
+	}
+	if !printed && !wants("dynamic") && !wants("replay") {
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

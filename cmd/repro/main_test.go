@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func TestFig6(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "fig6.dot")
+	out, err := runToString(t, "-figure", "fig6", "-dot", dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "% of load") {
+		t.Errorf("fig6 text wrong:\n%s", out)
+	}
+	b, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "penwidth") {
+		t.Error("fig6 DOT missing load widths")
+	}
+}
+
+func TestFig7SmallSeeds(t *testing.T) {
+	out, err := runToString(t, "-figure", "fig7", "-seeds", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 7", "Greedy algorithm", "ILP", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9SmallSeeds(t *testing.T) {
+	out, err := runToString(t, "-figure", "fig9", "-seeds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 9", "Thiran", "Greedy", "ILP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig9 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSamplersFigure(t *testing.T) {
+	out, err := runToString(t, "-figure", "samplers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mice") || !strings.Contains(out, "geometric") {
+		t.Errorf("samplers output wrong:\n%s", out)
+	}
+}
+
+func TestDynamicFigure(t *testing.T) {
+	out, err := runToString(t, "-figure", "dynamic", "-seeds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "recomputes") {
+		t.Errorf("dynamic output wrong:\n%s", out)
+	}
+}
+
+func TestReplayFigure(t *testing.T) {
+	out, err := runToString(t, "-figure", "replay", "-seeds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "promised") || !strings.Contains(out, "achieved") {
+		t.Errorf("replay output wrong:\n%s", out)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := runToString(t, "-figure", "fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if _, err := runToString(t, "-bogusflag"); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,520 @@
+// Package active implements §6 of the paper: active monitoring with
+// beacons and probes.
+//
+// An active probing system has candidate beacon locations V_B ⊆ V. Each
+// beacon sends probe packets along IP routes; a probe covers the links
+// of its path, and the probe between ϕ_u and ϕ_v is the same whichever
+// endpoint sends it. Following the two-phase approach of Nguyen &
+// Thiran [15] that the paper improves: first compute an optimal set of
+// probes Φ covering every link, then choose which candidate nodes
+// actually become beacons so every probe of Φ has a beacon endpoint.
+//
+// The package provides the probe-set computation and the paper's three
+// placement algorithms: the arbitrary-order greedy of [15]
+// (PlaceThiran), the improved most-probes-first greedy the paper
+// proposes (PlaceGreedy), and the exact 0–1 ILP of §6.1 (PlaceILP).
+package active
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/mip"
+)
+
+// Probe is a measurement path. U and V are its extremities; at least
+// one of them must be a beacon for the probe to be sent (the probe
+// U→V equals the probe V→U, §6.1).
+type Probe struct {
+	U, V graph.NodeID
+	Path graph.Path
+}
+
+// ProbeSet is the probe collection Φ together with the graph it covers.
+type ProbeSet struct {
+	G      *graph.Graph
+	Probes []Probe
+	// Candidates is V_B, the nodes allowed to host beacons.
+	Candidates []graph.NodeID
+}
+
+// CoversAllEdges reports whether every edge of the graph lies on at
+// least one probe path.
+func (ps ProbeSet) CoversAllEdges() bool {
+	covered := make([]bool, ps.G.NumEdges())
+	for _, p := range ps.Probes {
+		for _, e := range p.Path.Edges {
+			covered[e] = true
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeProbes builds a small probe set covering every link, the
+// first phase of [15] (the cited polynomial algorithm lives in that
+// paper; we reconstruct it as a greedy link cover, which preserves the
+// input the placement phase consumes — see DESIGN.md §4).
+//
+// Candidate probes are, for every candidate beacon u and every link
+// e = (a,b): the shortest path u⇝a extended across e (probes follow IP
+// routing to the near end of the link, then cross it). The greedy then
+// keeps probes covering the most uncovered links. Every returned probe
+// has an endpoint in V_B, so the subsequent placement is always
+// feasible. An error is reported when some link is unreachable from
+// every candidate.
+func ComputeProbes(g *graph.Graph, candidates []graph.NodeID) (ProbeSet, error) {
+	if len(candidates) == 0 {
+		return ProbeSet{}, fmt.Errorf("active: no candidate beacons")
+	}
+	seen := make(map[graph.NodeID]bool, len(candidates))
+	for _, c := range candidates {
+		if seen[c] {
+			return ProbeSet{}, fmt.Errorf("active: duplicate candidate %d", c)
+		}
+		seen[c] = true
+	}
+
+	// Candidate probes between beacon pairs (both extremities in V_B):
+	// the probes of [15] run between measurement points, and they are
+	// what gives the placement phase freedom (either extremity can be
+	// the sender). Extend-across probes to a link's far end are added
+	// only as a fallback for links no pair path crosses.
+	var pairProbes, fallProbes []Probe
+	trees := make(map[graph.NodeID]map[graph.NodeID]graph.Path, len(candidates))
+	for _, u := range candidates {
+		trees[u] = g.ShortestPaths(u)
+	}
+	for i, u := range candidates {
+		for _, v := range candidates[i+1:] {
+			if p, ok := trees[u][v]; ok && p.Len() > 0 {
+				pairProbes = append(pairProbes, Probe{U: u, V: v, Path: p.Clone()})
+			}
+		}
+	}
+	for _, u := range candidates {
+		for _, e := range g.Edges() {
+			if p, ok := extendAcross(g, trees[u], u, e); ok {
+				fallProbes = append(fallProbes, p)
+			}
+		}
+	}
+	pairProbes = dedupeProbes(pairProbes)
+	fallProbes = dedupeProbes(fallProbes)
+
+	// Greedy link cover in two passes: beacon-pair probes first, then
+	// fallback probes for whatever remains uncoverable by pair paths.
+	covered := make([]bool, g.NumEdges())
+	remaining := g.NumEdges()
+	var chosen []Probe
+	for _, cand := range [][]Probe{pairProbes, fallProbes} {
+		for remaining > 0 {
+			best, bestGain := -1, 0
+			for i, p := range cand {
+				gain := 0
+				for _, e := range p.Path.Edges {
+					if !covered[e] {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = i, gain
+				}
+			}
+			if best < 0 {
+				break // this pass can add nothing more
+			}
+			chosen = append(chosen, cand[best])
+			for _, e := range cand[best].Path.Edges {
+				if !covered[e] {
+					covered[e] = true
+					remaining--
+				}
+			}
+		}
+	}
+	if remaining > 0 {
+		return ProbeSet{}, fmt.Errorf("active: %d links unreachable from any candidate beacon", remaining)
+	}
+	return ProbeSet{G: g, Probes: chosen, Candidates: append([]graph.NodeID(nil), candidates...)}, nil
+}
+
+// extendAcross returns the probe from u that crosses edge e at its far
+// end: shortest path u⇝(nearest endpoint of e) plus e itself. It fails
+// when e's endpoints are unreachable or the extension would revisit a
+// node (non-simple path).
+func extendAcross(g *graph.Graph, paths map[graph.NodeID]graph.Path, u graph.NodeID, e graph.Edge) (Probe, bool) {
+	pa, oka := paths[e.U]
+	pb, okb := paths[e.V]
+	if !oka && !okb {
+		return Probe{}, false
+	}
+	// If the shortest path to the far endpoint already uses e, it is a
+	// probe crossing e all by itself.
+	if okb && pb.Uses(e.ID) {
+		return Probe{U: u, V: e.V, Path: pb.Clone()}, true
+	}
+	if oka && pa.Uses(e.ID) {
+		return Probe{U: u, V: e.U, Path: pa.Clone()}, true
+	}
+	// Otherwise extend the shorter reach across e.
+	try := func(base graph.Path, from, to graph.NodeID) (Probe, bool) {
+		for _, n := range base.Nodes {
+			if n == to {
+				return Probe{}, false // would revisit `to`
+			}
+		}
+		p := base.Clone()
+		p.Nodes = append(p.Nodes, to)
+		p.Edges = append(p.Edges, e.ID)
+		p.Cost += e.Weight
+		return Probe{U: u, V: to, Path: p}, true
+	}
+	if oka && okb {
+		if pa.Cost <= pb.Cost {
+			if p, ok := try(pa, e.U, e.V); ok {
+				return p, true
+			}
+			return try(pb, e.V, e.U)
+		}
+		if p, ok := try(pb, e.V, e.U); ok {
+			return p, true
+		}
+		return try(pa, e.U, e.V)
+	}
+	if oka {
+		return try(pa, e.U, e.V)
+	}
+	return try(pb, e.V, e.U)
+}
+
+func dedupeProbes(probes []Probe) []Probe {
+	type key string
+	seen := make(map[key]bool, len(probes))
+	var out []Probe
+	for _, p := range probes {
+		k := key(fmt.Sprint(p.Path.Edges))
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Placement is the outcome of a beacon-placement algorithm.
+type Placement struct {
+	// Beacons lists the selected beacon nodes, sorted.
+	Beacons []graph.NodeID
+	// Sender assigns every probe (by index into the ProbeSet) the
+	// beacon that emits it.
+	Sender []graph.NodeID
+	// Exact is true when the placement is provably optimal.
+	Exact  bool
+	Method string
+}
+
+// Devices returns the number of beacons (the y-axis of Figures 9–11).
+func (p Placement) Devices() int { return len(p.Beacons) }
+
+// Validate checks that every probe has its sender among the beacons and
+// at one of its extremities, and that beacons are candidates.
+func (p Placement) Validate(ps ProbeSet) error {
+	isBeacon := make(map[graph.NodeID]bool, len(p.Beacons))
+	isCand := make(map[graph.NodeID]bool, len(ps.Candidates))
+	for _, c := range ps.Candidates {
+		isCand[c] = true
+	}
+	for _, b := range p.Beacons {
+		if !isCand[b] {
+			return fmt.Errorf("active: beacon %d is not a candidate", b)
+		}
+		isBeacon[b] = true
+	}
+	if len(p.Sender) != len(ps.Probes) {
+		return fmt.Errorf("active: %d senders for %d probes", len(p.Sender), len(ps.Probes))
+	}
+	for i, pr := range ps.Probes {
+		s := p.Sender[i]
+		if !isBeacon[s] {
+			return fmt.Errorf("active: probe %d sent by non-beacon %d", i, s)
+		}
+		if s != pr.U && s != pr.V {
+			return fmt.Errorf("active: probe %d sender %d is not an extremity", i, s)
+		}
+	}
+	return nil
+}
+
+// sendable returns, per candidate, the probe indices it could send.
+func sendable(ps ProbeSet) map[graph.NodeID][]int {
+	isCand := make(map[graph.NodeID]bool, len(ps.Candidates))
+	for _, c := range ps.Candidates {
+		isCand[c] = true
+	}
+	out := make(map[graph.NodeID][]int, len(ps.Candidates))
+	for i, p := range ps.Probes {
+		if isCand[p.U] {
+			out[p.U] = append(out[p.U], i)
+		}
+		if p.V != p.U && isCand[p.V] {
+			out[p.V] = append(out[p.V], i)
+		}
+	}
+	return out
+}
+
+func finishPlacement(ps ProbeSet, beacons map[graph.NodeID]bool, exact bool, method string) (Placement, error) {
+	pl := Placement{Exact: exact, Method: method}
+	for b := range beacons {
+		pl.Beacons = append(pl.Beacons, b)
+	}
+	sort.Slice(pl.Beacons, func(i, j int) bool { return pl.Beacons[i] < pl.Beacons[j] })
+	pl.Sender = make([]graph.NodeID, len(ps.Probes))
+	for i, p := range ps.Probes {
+		switch {
+		case beacons[p.U]:
+			pl.Sender[i] = p.U
+		case beacons[p.V]:
+			pl.Sender[i] = p.V
+		default:
+			return Placement{}, fmt.Errorf("active: %s: probe %d has no beacon endpoint", method, i)
+		}
+	}
+	return pl, nil
+}
+
+// PlaceThiran is the placement heuristic of [15] as the paper describes
+// it: "they first select a beacon, remove the set of probes that can be
+// sent with this beacon, and so on" — candidates are taken in arbitrary
+// (index) order, without looking at how many probes each can send.
+func PlaceThiran(ps ProbeSet) (Placement, error) {
+	can := sendable(ps)
+	unsent := len(ps.Probes)
+	covered := make([]bool, len(ps.Probes))
+	beacons := make(map[graph.NodeID]bool)
+	order := append([]graph.NodeID(nil), ps.Candidates...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, c := range order {
+		if unsent == 0 {
+			break
+		}
+		gain := 0
+		for _, i := range can[c] {
+			if !covered[i] {
+				gain++
+			}
+		}
+		if gain == 0 {
+			continue
+		}
+		beacons[c] = true
+		for _, i := range can[c] {
+			if !covered[i] {
+				covered[i] = true
+				unsent--
+			}
+		}
+	}
+	if unsent > 0 {
+		return Placement{}, fmt.Errorf("active: thiran: %d probes unassignable", unsent)
+	}
+	return finishPlacement(ps, beacons, false, "thiran")
+}
+
+// PlaceGreedy is the paper's improved greedy: always select next the
+// candidate that can send the greatest number of still-unsent probes.
+func PlaceGreedy(ps ProbeSet) (Placement, error) {
+	can := sendable(ps)
+	unsent := len(ps.Probes)
+	covered := make([]bool, len(ps.Probes))
+	beacons := make(map[graph.NodeID]bool)
+	for unsent > 0 {
+		var best graph.NodeID = -1
+		bestGain := 0
+		for _, c := range ps.Candidates {
+			if beacons[c] {
+				continue
+			}
+			gain := 0
+			for _, i := range can[c] {
+				if !covered[i] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && (best < 0 || c < best)) {
+				best, bestGain = c, gain
+			}
+		}
+		if best < 0 {
+			return Placement{}, fmt.Errorf("active: greedy: %d probes unassignable", unsent)
+		}
+		beacons[best] = true
+		for _, i := range can[best] {
+			if !covered[i] {
+				covered[i] = true
+				unsent--
+			}
+		}
+	}
+	return finishPlacement(ps, beacons, false, "greedy")
+}
+
+// PlaceILP solves the paper's 0–1 integer program (§6.1) exactly:
+//
+//	min Σ y_i   s.t.  y_i = 0 ∀i ∉ V_B,  y_{ϕu} + y_{ϕv} ≥ 1 ∀ϕ ∈ Φ
+//
+// It is a vertex cover restricted to the candidate set, solved with the
+// branch-and-bound of internal/mip (CPLEX in the paper).
+func PlaceILP(ps ProbeSet) (Placement, error) {
+	p := mip.NewProblem(lp.Minimize)
+	ys := make(map[graph.NodeID]lp.Var, ps.G.NumNodes())
+	isCand := make(map[graph.NodeID]bool, len(ps.Candidates))
+	for _, c := range ps.Candidates {
+		isCand[c] = true
+	}
+	// Only variables that appear in constraints are materialized;
+	// non-candidate extremities are the fixed-to-zero y_i of the paper.
+	varOf := func(n graph.NodeID) (lp.Var, bool) {
+		if !isCand[n] {
+			return 0, false
+		}
+		v, ok := ys[n]
+		if !ok {
+			v = p.AddBinaryVariable(fmt.Sprintf("y%d", n), 1)
+			ys[n] = v
+		}
+		return v, true
+	}
+	for i, pr := range ps.Probes {
+		var terms []lp.Term
+		if v, ok := varOf(pr.U); ok {
+			terms = append(terms, lp.Term{Var: v, Coef: 1})
+		}
+		if pr.V != pr.U {
+			if v, ok := varOf(pr.V); ok {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			return Placement{}, fmt.Errorf("active: ilp: probe %d has no candidate extremity", i)
+		}
+		p.AddConstraint(lp.GE, 1, terms...)
+	}
+	if len(ys) == 0 {
+		// No probes at all: nothing to place.
+		return finishPlacement(ps, map[graph.NodeID]bool{}, true, "ilp")
+	}
+	// Warm start from the greedy placement.
+	if gr, err := PlaceGreedy(ps); err == nil {
+		inc := make([]float64, p.NumVariables())
+		for _, b := range gr.Beacons {
+			if v, ok := ys[b]; ok {
+				inc[v] = 1
+			}
+		}
+		p.SetOptions(mip.Options{Incumbent: inc})
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return Placement{}, err
+	}
+	if sol.Status != lp.Optimal {
+		return Placement{}, fmt.Errorf("active: ilp: solver status %v", sol.Status)
+	}
+	beacons := make(map[graph.NodeID]bool)
+	for n, v := range ys {
+		if sol.Value(v) > 0.5 {
+			beacons[n] = true
+		}
+	}
+	return finishPlacement(ps, beacons, true, "ilp")
+}
+
+// ProbeLoad returns, per beacon, how many probes it sends under the
+// placement — the message-overhead view the paper's objective of
+// "optimizing both the number of devices and the number of generated
+// messages" cares about.
+func ProbeLoad(pl Placement) map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(pl.Beacons))
+	for _, b := range pl.Beacons {
+		out[b] = 0
+	}
+	for _, s := range pl.Sender {
+		out[s]++
+	}
+	return out
+}
+
+// BalanceSenders reassigns probes among the placement's beacons to
+// minimize the maximum per-beacon probe count (the total message count
+// is fixed at |Φ|, so balancing the sending load is the remaining §6
+// overhead lever). Probes with both extremities on beacons are the
+// degrees of freedom; the assignment is an exchange argument: repeatedly
+// move a flexible probe from the most loaded beacon to its other
+// extremity while that strictly lowers the maximum.
+func BalanceSenders(ps ProbeSet, pl Placement) (Placement, error) {
+	if err := pl.Validate(ps); err != nil {
+		return Placement{}, err
+	}
+	out := pl
+	out.Sender = append([]graph.NodeID(nil), pl.Sender...)
+	isBeacon := make(map[graph.NodeID]bool, len(pl.Beacons))
+	for _, b := range pl.Beacons {
+		isBeacon[b] = true
+	}
+	load := ProbeLoad(out)
+	for {
+		moved := false
+		// Find the currently most loaded beacon.
+		var top graph.NodeID = -1
+		for b, l := range load {
+			if top < 0 || l > load[top] || (l == load[top] && b < top) {
+				top = b
+			}
+		}
+		if top < 0 {
+			break
+		}
+		for i, pr := range ps.Probes {
+			if out.Sender[i] != top {
+				continue
+			}
+			other := pr.U
+			if other == top {
+				other = pr.V
+			}
+			if other == top || !isBeacon[other] {
+				continue
+			}
+			if load[other]+1 < load[top] {
+				out.Sender[i] = other
+				load[top]--
+				load[other]++
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return out, nil
+}
+
+// MaxProbeLoad returns the largest per-beacon probe count.
+func MaxProbeLoad(pl Placement) int {
+	max := 0
+	for _, l := range ProbeLoad(pl) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

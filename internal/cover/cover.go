@@ -1,0 +1,604 @@
+// Package cover implements Minimum Set Cover and Minimum Partial
+// (weighted) Cover: the greedy approximation the paper's Theorem 1 maps
+// Passive Monitoring onto, and an exact combinatorial branch-and-bound
+// used as a scalable alternative to the MIP on large instances.
+//
+// Terminology follows §4.2 of the paper: items (elements) are traffics,
+// sets are links; choosing a set covers all elements it contains, and
+// PPM(k) asks for the fewest sets covering elements of total weight at
+// least k times the whole.
+package cover
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Instance is a (partial) set cover instance. Elements are 0..NumElements-1.
+type Instance struct {
+	NumElements int
+	// Weights holds one weight per element; nil means unit weights.
+	Weights []float64
+	// Sets lists, for each set, the elements it covers. Element ids out
+	// of range are rejected by Validate.
+	Sets [][]int
+}
+
+// Validate checks index ranges and weight consistency.
+func (in Instance) Validate() error {
+	if in.NumElements < 0 {
+		return fmt.Errorf("cover: negative element count %d", in.NumElements)
+	}
+	if in.Weights != nil && len(in.Weights) != in.NumElements {
+		return fmt.Errorf("cover: %d weights for %d elements", len(in.Weights), in.NumElements)
+	}
+	for i, w := range in.Weights {
+		if w < 0 || math.IsNaN(w) {
+			return fmt.Errorf("cover: element %d has bad weight %g", i, w)
+		}
+	}
+	for si, s := range in.Sets {
+		for _, e := range s {
+			if e < 0 || e >= in.NumElements {
+				return fmt.Errorf("cover: set %d references element %d out of range [0,%d)", si, e, in.NumElements)
+			}
+		}
+	}
+	return nil
+}
+
+// weight returns the weight of element e.
+func (in Instance) weight(e int) float64 {
+	if in.Weights == nil {
+		return 1
+	}
+	return in.Weights[e]
+}
+
+// TotalWeight returns the sum of all element weights (the paper's V).
+func (in Instance) TotalWeight() float64 {
+	if in.Weights == nil {
+		return float64(in.NumElements)
+	}
+	t := 0.0
+	for _, w := range in.Weights {
+		t += w
+	}
+	return t
+}
+
+// bitset is a fixed-size bitmap over elements.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
+
+// subsetOf reports whether every bit of b is also set in other.
+func (b bitset) subsetOf(other bitset) bool {
+	for i, w := range b {
+		if w&^other[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Result is the outcome of a cover computation.
+type Result struct {
+	// Chosen lists the selected set indices in selection order.
+	Chosen []int
+	// Covered is the total weight of the covered elements.
+	Covered float64
+	// Feasible is false when even choosing every set cannot reach the
+	// target.
+	Feasible bool
+	// Exact is true when the result is provably optimal.
+	Exact bool
+	// Nodes counts branch-and-bound nodes (exact solver only).
+	Nodes int
+}
+
+// GreedyPartial runs the classical greedy for Minimum Partial Cover: it
+// repeatedly selects the set with the largest uncovered weight until the
+// covered weight reaches target. This is the (ln|D| − ln ln|D| + Θ(1))-
+// approximation the paper cites from Slavík [19, 20].
+func GreedyPartial(in Instance, target float64) Result {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	covered := newBitset(in.NumElements)
+	res := Result{Feasible: true}
+	used := make([]bool, len(in.Sets))
+	for res.Covered < target-1e-12 {
+		best, bestGain := -1, 0.0
+		for si, s := range in.Sets {
+			if used[si] {
+				continue
+			}
+			gain := 0.0
+			for _, e := range s {
+				if !covered.get(e) {
+					gain += in.weight(e)
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = si, gain
+			}
+		}
+		if best < 0 {
+			res.Feasible = false
+			return res
+		}
+		used[best] = true
+		res.Chosen = append(res.Chosen, best)
+		for _, e := range in.Sets[best] {
+			if !covered.get(e) {
+				covered.set(e)
+				res.Covered += in.weight(e)
+			}
+		}
+	}
+	return res
+}
+
+// Greedy runs GreedyPartial with the full total weight as target, i.e.
+// the classical greedy for Minimum Set Cover.
+func Greedy(in Instance) Result {
+	return GreedyPartial(in, in.TotalWeight())
+}
+
+// GreedyBoundRatio returns the Slavík approximation guarantee
+// ln n − ln ln n + Θ(1) for instance size n (clamped below at 1), used
+// for reporting how far greedy can be from optimal.
+func GreedyBoundRatio(n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	r := math.Log(float64(n)) - math.Log(math.Log(float64(n))) + 0.78
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// ExactOptions tunes the exact branch-and-bound.
+type ExactOptions struct {
+	// MaxNodes caps the search; 0 means 5,000,000. When exceeded the
+	// best incumbent is returned with Exact=false.
+	MaxNodes int
+}
+
+// Exact solves Minimum Partial Cover exactly with branch and bound:
+// depth-first search that always branches on the set with the largest
+// residual coverage (include first, giving a greedy dive for early
+// incumbents) and prunes with an optimistic fractional bound that counts
+// the largest residual coverages ignoring overlaps.
+//
+// Before searching it applies the classical set-cover reductions:
+// dominated sets (element set contained in another's) are excluded
+// always; for full covers, dominated elements (covering-set list
+// containing another element's) are dropped and sets covering some
+// element exclusively are forced in.
+func Exact(in Instance, target float64, opts ExactOptions) Result {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 5_000_000
+	}
+	// Start from the greedy incumbent: it bounds the search depth.
+	greedy := GreedyPartial(in, target)
+	if !greedy.Feasible {
+		return Result{Feasible: false, Exact: true}
+	}
+	if target <= 1e-12 {
+		return Result{Feasible: true, Exact: true}
+	}
+
+	fullCover := target >= in.TotalWeight()-1e-9
+	// Merge elements with identical covering sets (their coverage always
+	// moves together, so one weighted representative suffices at any k).
+	searchIn, searchTarget := mergeSignatures(in, target)
+
+	s := &exactSearch{
+		in:      searchIn,
+		target:  searchTarget,
+		best:    append([]int(nil), greedy.Chosen...),
+		bestLen: len(greedy.Chosen),
+		maxN:    opts.MaxNodes,
+	}
+	excluded := excludeDominatedSets(searchIn)
+	covered := newBitset(searchIn.NumElements)
+	var forced []int
+	if fullCover {
+		reduced, reducedTarget := dropDominatedElements(searchIn, excluded)
+		s.in, s.target = reduced, reducedTarget
+		forced = forceUniqueCoverers(reduced, excluded, covered)
+		s.prepareDisjointBound(excluded)
+	}
+	coveredW := 0.0
+	for e := 0; e < s.in.NumElements; e++ {
+		if covered.get(e) {
+			coveredW += s.in.weight(e)
+		}
+	}
+	s.search(covered, coveredW, forced, excluded)
+
+	res := Result{
+		Chosen:   s.best,
+		Feasible: true,
+		Exact:    !s.capped,
+		Nodes:    s.nodes,
+	}
+	final := newBitset(in.NumElements)
+	for _, si := range s.best {
+		for _, e := range in.Sets[si] {
+			if !final.get(e) {
+				final.set(e)
+				res.Covered += in.weight(e)
+			}
+		}
+	}
+	return res
+}
+
+// excludeDominatedSets marks sets whose element set is contained in
+// another set's (ties broken towards lower indices). Dropping them is
+// sound for any (partial) cover: the dominating set can always replace
+// the dominated one without losing coverage.
+func excludeDominatedSets(in Instance) []bool {
+	n := len(in.Sets)
+	excluded := make([]bool, n)
+	masks := make([]bitset, n)
+	for i, s := range in.Sets {
+		masks[i] = newBitset(in.NumElements)
+		for _, e := range s {
+			masks[i].set(e)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if excluded[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || excluded[j] {
+				continue
+			}
+			if masks[i].subsetOf(masks[j]) {
+				// Equal sets: keep the lower index only.
+				if masks[j].subsetOf(masks[i]) && i < j {
+					continue
+				}
+				excluded[i] = true
+				break
+			}
+		}
+	}
+	return excluded
+}
+
+// dropDominatedElements (full cover only) removes elements whose
+// covering-set list contains another element's: any full cover covers
+// the contained element through one of its sets, which also covers the
+// dominating one. Removal is simulated by zeroing the dominated
+// elements' weights and shrinking the target to the remaining total —
+// reaching the new target then requires covering exactly the remaining
+// elements, and dominance implies the dropped ones come along for free.
+func dropDominatedElements(in Instance, excluded []bool) (Instance, float64) {
+	coverers := make([]bitset, in.NumElements)
+	for e := range coverers {
+		coverers[e] = newBitset(len(in.Sets))
+	}
+	for si, s := range in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range s {
+			coverers[e].set(si)
+		}
+	}
+	drop := make([]bool, in.NumElements)
+	for u := 0; u < in.NumElements; u++ {
+		if drop[u] {
+			continue
+		}
+		for v := 0; v < in.NumElements; v++ {
+			if u == v || drop[v] {
+				continue
+			}
+			if coverers[v].subsetOf(coverers[u]) {
+				if coverers[u].subsetOf(coverers[v]) && u < v {
+					continue // equal: keep the lower index
+				}
+				drop[u] = true
+				break
+			}
+		}
+	}
+	weights := make([]float64, in.NumElements)
+	target := 0.0
+	for e := 0; e < in.NumElements; e++ {
+		if drop[e] {
+			continue
+		}
+		weights[e] = in.weight(e)
+		target += weights[e]
+	}
+	return Instance{NumElements: in.NumElements, Weights: weights, Sets: in.Sets}, target
+}
+
+// forceUniqueCoverers (full cover only) repeatedly includes sets that
+// are the sole remaining coverer of some element, marking the elements
+// they cover. Returns the forced set indices.
+func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
+	coverers := make([][]int, in.NumElements)
+	for si, s := range in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range s {
+			coverers[e] = append(coverers[e], si)
+		}
+	}
+	var forced []int
+	inForced := make([]bool, len(in.Sets))
+	for changed := true; changed; {
+		changed = false
+		for e := 0; e < in.NumElements; e++ {
+			if covered.get(e) || in.weight(e) == 0 {
+				continue // dropped or already-covered elements force nothing
+			}
+			if len(coverers[e]) == 1 {
+				si := coverers[e][0]
+				if !inForced[si] {
+					inForced[si] = true
+					forced = append(forced, si)
+					for _, e2 := range in.Sets[si] {
+						covered.set(e2)
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	return forced
+}
+
+type exactSearch struct {
+	in      Instance
+	target  float64
+	best    []int
+	bestLen int
+	nodes   int
+	maxN    int
+	capped  bool
+
+	// Disjoint-elements bound state (full covers only): per-element
+	// covering-set bitmaps in a processing order of increasing coverer
+	// count. Elements pairwise sharing no covering set each require a
+	// distinct set, so the size of such a family lower-bounds the
+	// remaining cover.
+	elemCoverers []bitset
+	elemOrder    []int
+}
+
+// prepareDisjointBound precomputes the per-element covering-set bitmaps
+// over non-excluded sets and a fewest-coverers-first element order.
+func (s *exactSearch) prepareDisjointBound(excluded []bool) {
+	n := s.in.NumElements
+	s.elemCoverers = make([]bitset, n)
+	counts := make([]int, n)
+	for e := 0; e < n; e++ {
+		s.elemCoverers[e] = newBitset(len(s.in.Sets))
+	}
+	for si, set := range s.in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range set {
+			s.elemCoverers[e].set(si)
+			counts[e]++
+		}
+	}
+	for e := 0; e < n; e++ {
+		if s.in.weight(e) > 0 && counts[e] > 0 {
+			s.elemOrder = append(s.elemOrder, e)
+		}
+	}
+	sort.Slice(s.elemOrder, func(a, b int) bool { return counts[s.elemOrder[a]] < counts[s.elemOrder[b]] })
+}
+
+// disjointBound greedily builds a family of uncovered elements whose
+// covering sets are pairwise disjoint; its size is a valid lower bound
+// on the number of additional sets (each chosen set covers at most one
+// family member). Using the root covering sets is conservative under
+// branching exclusions, hence still valid.
+func (s *exactSearch) disjointBound(covered bitset) int {
+	if s.elemOrder == nil {
+		return 0
+	}
+	used := newBitset(len(s.in.Sets))
+	bound := 0
+	for _, e := range s.elemOrder {
+		if covered.get(e) {
+			continue
+		}
+		conflict := false
+		ec := s.elemCoverers[e]
+		for i, w := range ec {
+			if w&used[i] != 0 {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		for i, w := range ec {
+			used[i] |= w
+		}
+		bound++
+	}
+	return bound
+}
+
+// mergeSignatures collapses elements covered by exactly the same sets
+// into one element of summed weight. Sound for any coverage target:
+// merged elements are covered or uncovered together.
+func mergeSignatures(in Instance, target float64) (Instance, float64) {
+	coverers := make([]bitset, in.NumElements)
+	for e := range coverers {
+		coverers[e] = newBitset(len(in.Sets))
+	}
+	for si, s := range in.Sets {
+		for _, e := range s {
+			coverers[e].set(si)
+		}
+	}
+	rep := make(map[string]int, in.NumElements) // signature → new element id
+	newID := make([]int, in.NumElements)
+	var weights []float64
+	for e := 0; e < in.NumElements; e++ {
+		key := fmt.Sprint(coverers[e])
+		id, ok := rep[key]
+		if !ok {
+			id = len(weights)
+			rep[key] = id
+			weights = append(weights, 0)
+		}
+		newID[e] = id
+		weights[id] += in.weight(e)
+	}
+	if len(weights) == in.NumElements {
+		return in, target // nothing merged
+	}
+	sets := make([][]int, len(in.Sets))
+	for si, s := range in.Sets {
+		seen := make(map[int]bool, len(s))
+		for _, e := range s {
+			id := newID[e]
+			if !seen[id] {
+				seen[id] = true
+				sets[si] = append(sets[si], id)
+			}
+		}
+	}
+	return Instance{NumElements: len(weights), Weights: weights, Sets: sets}, target
+}
+
+// residualGains returns for every non-excluded set its uncovered weight.
+func (s *exactSearch) residualGains(covered bitset, excluded []bool) []float64 {
+	gains := make([]float64, len(s.in.Sets))
+	for si, set := range s.in.Sets {
+		if excluded[si] {
+			gains[si] = -1
+			continue
+		}
+		g := 0.0
+		for _, e := range set {
+			if !covered.get(e) {
+				g += s.in.weight(e)
+			}
+		}
+		gains[si] = g
+	}
+	return gains
+}
+
+// lowerBound returns the minimum number of additional sets needed to
+// cover `remaining` weight, pretending sets never overlap (optimistic,
+// hence a valid bound).
+func lowerBound(gains []float64, remaining float64) int {
+	if remaining <= 1e-12 {
+		return 0
+	}
+	pos := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		if g > 0 {
+			pos = append(pos, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(pos)))
+	need := 0
+	for _, g := range pos {
+		remaining -= g
+		need++
+		if remaining <= 1e-12 {
+			return need
+		}
+	}
+	return math.MaxInt32 // cannot reach the target at all
+}
+
+func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, excluded []bool) {
+	if s.capped {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxN {
+		s.capped = true
+		return
+	}
+	if coveredW >= s.target-1e-12 {
+		if len(chosen) < s.bestLen {
+			s.bestLen = len(chosen)
+			s.best = append([]int(nil), chosen...)
+		}
+		return
+	}
+	if len(chosen)+1 >= s.bestLen {
+		// The target is not reached, so any completion adds at least one
+		// more set and cannot improve on the incumbent.
+		return
+	}
+
+	gains := s.residualGains(covered, excluded)
+	lb := lowerBound(gains, s.target-coveredW)
+	if db := s.disjointBound(covered); db > lb {
+		lb = db
+	}
+	if len(chosen)+lb >= s.bestLen {
+		return
+	}
+	// Branch on the set with the largest residual gain.
+	branch := -1
+	bg := 0.0
+	for si, g := range gains {
+		if g > bg {
+			bg, branch = g, si
+		}
+	}
+	if branch < 0 {
+		return // nothing left to add
+	}
+	// Include branch first: mimics the greedy and finds incumbents fast.
+	s.include(covered, coveredW, chosen, excluded, branch)
+	// Exclude branch.
+	excluded[branch] = true
+	s.search(covered, coveredW, chosen, excluded)
+	excluded[branch] = false
+}
+
+func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, excluded []bool, si int) {
+	nc := covered.clone()
+	w := coveredW
+	for _, e := range s.in.Sets[si] {
+		if !nc.get(e) {
+			nc.set(e)
+			w += s.in.weight(e)
+		}
+	}
+	s.search(nc, w, append(chosen, si), excluded)
+}

@@ -1,0 +1,398 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation. Each function reproduces one figure as a stats.Series
+// (the textual equivalent of the plot) averaged over `seeds` runs, as
+// the paper averages over 20 simulations. cmd/repro prints them;
+// bench_test.go at the module root times them; EXPERIMENTS.md records
+// paper-versus-measured shapes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/active"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/passive"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// DefaultSeeds is the paper's run count per point ("all the results are
+// an average over 20 simulations").
+const DefaultSeeds = 20
+
+// KSweep is the x axis of Figures 7 and 8 (percentage of monitored
+// traffic, starting from 75%).
+var KSweep = []float64{0.75, 0.80, 0.85, 0.90, 0.95, 1.00}
+
+// instance builds the POP + routed traffic of one run.
+func instance(cfg topology.Config, seed int64) *core.Instance {
+	cfg.Seed = seed
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	in, err := traffic.Route(pop, demands)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: routing: %v", err))
+	}
+	return in
+}
+
+// PassivePlacement reproduces Figures 7 and 8: device counts of the
+// load-order greedy versus the exact optimum (the paper's ILP curve)
+// across the monitored-traffic sweep, averaged over seeds runs.
+//
+// The exact column is computed with the combinatorial branch-and-bound
+// (Theorem 1 view), which provably returns the same optima as the
+// paper's CPLEX-solved MIP — internal/passive's tests cross-check the
+// two on smaller instances.
+func PassivePlacement(cfg topology.Config, figure string, seeds, maxNodes int) *stats.Series {
+	s := stats.NewSeries(
+		figure+": passive monitoring devices placement",
+		"% monitored", "number of monitoring devices",
+		"Greedy algorithm", "ILP",
+	)
+	for seed := 0; seed < seeds; seed++ {
+		in := instance(cfg, int64(seed))
+		for _, k := range KSweep {
+			g := passive.GreedyLoad(in, k)
+			s.Add(k*100, "Greedy algorithm", float64(g.Devices()))
+			ex := passive.ExactCover(in, k, cover.ExactOptions{MaxNodes: maxNodes})
+			s.Add(k*100, "ILP", float64(ex.Devices()))
+		}
+	}
+	return s
+}
+
+// Fig7 is the 10-router POP of Figure 7 (27 links, 132 traffics).
+func Fig7(seeds int) *stats.Series {
+	return PassivePlacement(topology.Paper10, "Figure 7 (10-router POP)", seeds, 0)
+}
+
+// Fig8 is the 15-router POP of Figure 8 (71 links, 1980 traffics).
+// Fig8 caps the branch-and-bound at 400k nodes per point: the k = 95%
+// and 100% points of this instance are hard for our solver (CPLEX
+// closes them; see EXPERIMENTS.md); the returned incumbents are upper
+// bounds within ~1 device of optimal and preserve the figure's shape.
+func Fig8(seeds int) *stats.Series {
+	return PassivePlacement(topology.Paper15, "Figure 8 (15-router POP)", seeds, 400_000)
+}
+
+// BeaconPlacement reproduces Figures 9–11: beacons selected by the
+// algorithm of [15] (Thiran), the paper's greedy, and the exact ILP, as
+// the candidate set V_B grows. Candidates are random router subsets,
+// re-drawn per seed.
+func BeaconPlacement(cfg topology.Config, figure string, seeds int, vbSweep []int) *stats.Series {
+	s := stats.NewSeries(
+		figure+": active monitoring beacons placement",
+		"selectable beacons", "number of beacons selected",
+		"Thiran", "Greedy", "ILP",
+	)
+	for seed := 0; seed < seeds; seed++ {
+		cfg := cfg
+		cfg.Seed = int64(seed)
+		pop := topology.Generate(cfg)
+		routers := routerIDs(pop)
+		rng := rand.New(rand.NewSource(int64(seed) * 7919))
+		for _, nb := range vbSweep {
+			if nb > len(routers) {
+				continue
+			}
+			cands := sampleNodes(rng, routers, nb)
+			ps, err := active.ComputeProbes(pop.G, cands)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: probes: %v", err))
+			}
+			th, err := active.PlaceThiran(ps)
+			if err != nil {
+				panic(err)
+			}
+			gr, err := active.PlaceGreedy(ps)
+			if err != nil {
+				panic(err)
+			}
+			il, err := active.PlaceILP(ps)
+			if err != nil {
+				panic(err)
+			}
+			s.Add(float64(nb), "Thiran", float64(th.Devices()))
+			s.Add(float64(nb), "Greedy", float64(gr.Devices()))
+			s.Add(float64(nb), "ILP", float64(il.Devices()))
+		}
+	}
+	return s
+}
+
+func routerIDs(pop *topology.POP) []graph.NodeID {
+	out := append([]graph.NodeID(nil), pop.Backbone...)
+	return append(out, pop.Access...)
+}
+
+func sampleNodes(rng *rand.Rand, from []graph.NodeID, n int) []graph.NodeID {
+	perm := rng.Perm(len(from))
+	out := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = from[perm[i]]
+	}
+	return out
+}
+
+// vbSweep returns 2,4,...,max (the paper sweeps |V_B| up to the router
+// count).
+func vbSweep(max int) []int {
+	var out []int
+	for nb := 2; nb <= max; nb += 2 {
+		out = append(out, nb)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// Fig9 is the 15-router beacon experiment of Figure 9.
+func Fig9(seeds int) *stats.Series {
+	return BeaconPlacement(topology.Paper15, "Figure 9 (15-router POP)", seeds, vbSweep(15))
+}
+
+// Fig10 is the 29-router beacon experiment of Figure 10.
+func Fig10(seeds int) *stats.Series {
+	return BeaconPlacement(topology.Paper29, "Figure 10 (29-router POP)", seeds, vbSweep(29))
+}
+
+// Fig11 is the 80-router beacon experiment of Figure 11.
+func Fig11(seeds int) *stats.Series {
+	return BeaconPlacement(topology.Paper80, "Figure 11 (80-router POP)", seeds, vbSweep(80))
+}
+
+// Large150 is the paper's §7 outlook ("we are also currently testing
+// our solution on larger POPs, with at least 150 routers"): the beacon
+// comparison on a 150-router POP, sweeping a coarse candidate grid.
+func Large150(seeds int) *stats.Series {
+	cfg := topology.Config{Routers: 150, InterRouterLinks: 280, Endpoints: 80}
+	return BeaconPlacement(cfg, "§7 outlook (150-router POP)", seeds, []int{10, 30, 60, 90, 120, 150})
+}
+
+// Fig6 reproduces Figure 6: the non-uniform traffic weight over a
+// simple POP. It writes the per-link load shares as text and optionally
+// the DOT rendering (edge thickness ∝ load share, as in the paper's
+// figure).
+func Fig6(seed int64, text io.Writer, dot io.Writer) error {
+	cfg := topology.Config{Routers: 6, InterRouterLinks: 9, Endpoints: 6, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	in, err := traffic.Route(pop, demands)
+	if err != nil {
+		return err
+	}
+	loads := in.EdgeLoads()
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	fmt.Fprintf(text, "# Figure 6: traffic weight on a simple POP (seed %d)\n", seed)
+	fmt.Fprintf(text, "# %d routers, %d endpoints, %d links; non-uniform matrix with preferred pairs\n",
+		pop.Routers(), len(pop.Endpoints), pop.G.NumEdges())
+	fmt.Fprintf(text, "%-8s %-14s %-14s %10s\n", "link", "from", "to", "% of load")
+	for e, l := range loads {
+		edge := pop.G.Edge(graph.EdgeID(e))
+		fmt.Fprintf(text, "%-8d %-14s %-14s %9.2f%%\n",
+			e, pop.G.Label(edge.U), pop.G.Label(edge.V), 100*l/total)
+	}
+	if dot != nil {
+		maxLoad := stats.Max(loads)
+		return pop.G.WriteDOT(dot, graph.DOTOptions{
+			Name: "fig6",
+			EdgeWidth: func(e graph.Edge) float64 {
+				if maxLoad == 0 {
+					return 1
+				}
+				return 0.5 + 4*loads[e.ID]/maxLoad
+			},
+			NodeShape: func(n graph.NodeID) string {
+				switch pop.Kind[n] {
+				case topology.Backbone:
+					return "box"
+				case topology.Access:
+					return "ellipse"
+				default:
+					return "point"
+				}
+			},
+		})
+	}
+	return nil
+}
+
+// PPMECost is the §5 experiment (no figure in the paper): total
+// setup+exploitation cost of PPME(h,k) across the coverage sweep on a
+// multi-routed 10-router POP, compared with the cost of the PPM
+// placement run at full rate.
+func PPMECost(seeds int) *stats.Series {
+	s := stats.NewSeries(
+		"§5: PPME(h,k) cost vs full-rate PPM placement",
+		"% monitored", "total cost (setup + exploitation)",
+		"PPME cost", "PPME devices", "PPM full-rate cost",
+	)
+	// §5 has no prescribed instance; a compact POP keeps the MILP fast.
+	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8}
+	for seed := 0; seed < seeds; seed++ {
+		cfg.Seed = int64(seed)
+		pop := topology.Generate(cfg)
+		demands := traffic.Demands(pop, traffic.Config{Seed: int64(seed)})
+		mi, err := traffic.RouteMulti(pop, demands, 2)
+		if err != nil {
+			panic(err)
+		}
+		costs := sampling.DefaultCosts()
+		for _, k := range []float64{0.75, 0.85, 0.95} {
+			sol, err := sampling.Solve(mi, sampling.Config{K: k, Costs: costs, MaxNodes: 20000})
+			if err != nil {
+				panic(err)
+			}
+			s.Add(k*100, "PPME cost", sol.Cost)
+			s.Add(k*100, "PPME devices", float64(sol.Devices()))
+			// Baseline on the same instance: devices without rate
+			// control pay install + full-rate exploitation; minimizing
+			// that total is PPME with the exploitation coefficient
+			// folded into the install cost.
+			fullRate := sampling.CostModel{
+				Install: func(e graph.Edge) float64 { return costs.Install(e) + costs.Exploit(e) },
+				Exploit: func(graph.Edge) float64 { return 0 },
+			}
+			base, err := sampling.Solve(mi, sampling.Config{K: k, Costs: fullRate, MaxNodes: 20000})
+			if err != nil {
+				panic(err)
+			}
+			s.Add(k*100, "PPM full-rate cost", base.Cost)
+		}
+	}
+	return s
+}
+
+// DynamicResult summarizes the §5.4 dynamic-traffic experiment.
+type DynamicResult struct {
+	Rounds, Recomputes int
+	// MinCoverage is the worst achieved coverage right before an
+	// adaptation; FinalCoverage the coverage after the last round.
+	MinCoverage, FinalCoverage float64
+	// ReoptTime is the cumulative PPME* solve time — the quantity §5.4
+	// argues is small enough for on-line use.
+	ReoptTime time.Duration
+}
+
+// Dynamic runs the §5.4 controller over `rounds` drift steps of ±drift
+// relative volume change and reports adaptation statistics.
+func Dynamic(seed int64, rounds int, drift float64) (DynamicResult, error) {
+	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	mi, err := traffic.RouteMulti(pop, demands, 2)
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	// Place devices once with PPME at k=0.9, then only rates adapt.
+	k := 0.9
+	sol, err := sampling.Solve(mi, sampling.Config{K: k, MaxNodes: 20000})
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	ctl, err := sampling.NewController(mi, sol.Edges, sampling.Config{K: k}, 0.88)
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	res := DynamicResult{Rounds: rounds, MinCoverage: 1}
+	cur := demands
+	for r := 0; r < rounds; r++ {
+		cur = traffic.Perturb(cur, drift, seed*1000+int64(r))
+		mi, err = traffic.RouteMulti(pop, cur, 2)
+		if err != nil {
+			return DynamicResult{}, err
+		}
+		before := ctl.AchievedFraction(mi)
+		if before < res.MinCoverage {
+			res.MinCoverage = before
+		}
+		start := time.Now()
+		recomputed, err := ctl.Observe(mi)
+		if err != nil {
+			// Drift starved the installed set: even full-rate sampling
+			// cannot reach k anymore. The operator would fall back to
+			// PPME (add devices); we stop and report the rounds run.
+			res.Rounds = r + 1
+			res.FinalCoverage = before
+			return res, nil
+		}
+		if recomputed {
+			res.ReoptTime += time.Since(start)
+			res.Recomputes++
+		}
+	}
+	res.FinalCoverage = ctl.AchievedFraction(mi)
+	return res, nil
+}
+
+// SamplerBias reproduces the §5.2 discussion (the Metropolis study
+// quoted by the paper): how the sampling techniques distort mice
+// statistics as the period N grows — with 1-in-1000 sampling, most mice
+// flows are never seen at all.
+func SamplerBias(seed int64) *stats.Series {
+	s := stats.NewSeries(
+		"§5.2: sampling bias — % of mice flows entirely missed",
+		"period N", "% mice missed",
+		"regular", "probabilistic", "geometric",
+	)
+	trace, truth, err := simulate.GenerateTrace(simulate.TraceConfig{
+		Mice: 2000, Elephants: 20, MicePackets: 4, ElephantPackets: 3000, Seed: seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	mice := 0
+	for _, n := range truth {
+		if n < 1000 {
+			mice++
+		}
+	}
+	for _, n := range []int{10, 100, 1000} {
+		samplers := map[string]sampling.Sampler{
+			"regular":       sampling.NewRegular(n),
+			"probabilistic": sampling.NewProbabilistic(n, seed),
+			"geometric":     sampling.NewGeometric(n, seed),
+		}
+		for name, smp := range samplers {
+			st := sampling.CollectTrace(smp, trace)
+			rep := sampling.MeasureBias(truth, st, 1/float64(n), 1000)
+			s.Add(float64(n), name, 100*float64(rep.MissedMice)/float64(mice))
+		}
+	}
+	return s
+}
+
+// ReplayCheck validates a PPME solution by packet replay (the simulate
+// substrate): returns promised and achieved coverage.
+func ReplayCheck(seed int64, k float64) (promised, achieved float64, err error) {
+	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	mi, err := traffic.RouteMulti(pop, demands, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	sol, err := sampling.Solve(mi, sampling.Config{K: k, MaxNodes: 20000})
+	if err != nil {
+		return 0, 0, err
+	}
+	promised = simulate.PromisedFraction(mi, sol.Rates)
+	res, err := simulate.Run(mi, sol.Rates, simulate.Options{Seed: seed, PacketsPerUnit: 100})
+	if err != nil {
+		return 0, 0, err
+	}
+	return promised, res.Fraction, nil
+}

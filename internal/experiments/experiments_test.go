@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFig7ShapeOneSeed(t *testing.T) {
+	s := Fig7(1)
+	// The monotone staircase of Figure 7: more coverage, more devices.
+	prevG, prevI := 0.0, 0.0
+	for _, x := range s.Xs() {
+		g := s.MeanAt(x, "Greedy algorithm")
+		il := s.MeanAt(x, "ILP")
+		if math.IsNaN(g) || math.IsNaN(il) {
+			t.Fatalf("missing data at %g", x)
+		}
+		if il > g {
+			t.Fatalf("at %g%%: ILP %g above greedy %g", x, il, g)
+		}
+		if g < prevG-1e-9 || il < prevI-1e-9 {
+			t.Fatalf("device counts not monotone at %g%%", x)
+		}
+		prevG, prevI = g, il
+	}
+	// The paper's headline: the 95→100% step is the steepest of the
+	// sweep for the ILP.
+	steps := map[float64]float64{}
+	xs := s.Xs()
+	for i := 1; i < len(xs); i++ {
+		steps[xs[i]] = s.MeanAt(xs[i], "ILP") - s.MeanAt(xs[i-1], "ILP")
+	}
+	last := steps[100]
+	for x, d := range steps {
+		if x != 100 && d > last {
+			t.Fatalf("step at %g%% (%g) exceeds the final step (%g)", x, d, last)
+		}
+	}
+}
+
+func TestBeaconPlacementOrdering(t *testing.T) {
+	cfg := topology.Config{Routers: 10, InterRouterLinks: 18, Endpoints: 6}
+	s := BeaconPlacement(cfg, "test", 2, []int{4, 8, 10})
+	for _, x := range s.Xs() {
+		il := s.MeanAt(x, "ILP")
+		th := s.MeanAt(x, "Thiran")
+		gr := s.MeanAt(x, "Greedy")
+		if il > th+1e-9 || il > gr+1e-9 {
+			t.Fatalf("|V_B|=%g: ILP %g not the minimum (thiran %g, greedy %g)", x, il, th, gr)
+		}
+	}
+}
+
+func TestFig6Writes(t *testing.T) {
+	var text, dot strings.Builder
+	if err := Fig6(1, &text, &dot); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "% of load") {
+		t.Fatalf("text output missing table:\n%s", text.String())
+	}
+	if !strings.Contains(dot.String(), "penwidth") {
+		t.Fatal("DOT output missing load widths")
+	}
+	// Non-uniformity: some link must carry well above the mean share.
+	if !strings.Contains(text.String(), "Figure 6") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestPPMECostRuns(t *testing.T) {
+	s := PPMECost(1)
+	for _, x := range s.Xs() {
+		ppme := s.MeanAt(x, "PPME cost")
+		full := s.MeanAt(x, "PPM full-rate cost")
+		if math.IsNaN(ppme) || math.IsNaN(full) {
+			t.Fatalf("missing data at %g", x)
+		}
+		// PPME optimizes the same coverage with rate freedom: it can
+		// never cost more than the full-rate PPM placement.
+		if ppme > full+1e-6 {
+			t.Fatalf("at %g%%: PPME %g costs more than full-rate PPM %g", x, ppme, full)
+		}
+	}
+}
+
+func TestDynamicRuns(t *testing.T) {
+	res, err := Dynamic(1, 5, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 5 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.FinalCoverage <= 0 || res.FinalCoverage > 1 {
+		t.Fatalf("final coverage = %g", res.FinalCoverage)
+	}
+}
+
+func TestReplayCheckCloseToPromise(t *testing.T) {
+	prom, ach, err := ReplayCheck(1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prom < 0.9-1e-6 {
+		t.Fatalf("promise %g below k", prom)
+	}
+	if math.Abs(prom-ach) > 0.03 {
+		t.Fatalf("achieved %g far from promised %g", ach, prom)
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions controls DOT export. The zero value produces a plain graph.
+type DOTOptions struct {
+	// Name is the graph name; defaults to "G".
+	Name string
+	// EdgeLabel, when non-nil, returns the label to print on an edge.
+	EdgeLabel func(Edge) string
+	// EdgeWidth, when non-nil, returns a pen width for an edge; used to
+	// render traffic-load figures like the paper's Figure 6 where edge
+	// thickness encodes the share of traffic on the link.
+	EdgeWidth func(Edge) float64
+	// NodeShape, when non-nil, returns the Graphviz shape for a node
+	// (e.g. "box" for backbone routers, "ellipse" for access routers).
+	NodeShape func(NodeID) string
+	// Highlight, when non-nil, reports whether an edge should be drawn
+	// emphasized (e.g. a monitored link).
+	Highlight func(Edge) bool
+}
+
+// WriteDOT renders the graph in Graphviz DOT format.
+func (g *Graph) WriteDOT(w io.Writer, opt DOTOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  node [fontsize=10];\n")
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		shape := ""
+		if opt.NodeShape != nil {
+			shape = opt.NodeShape(id)
+		}
+		if shape != "" {
+			fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", n, g.Label(id), shape)
+		} else {
+			fmt.Fprintf(&b, "  n%d [label=%q];\n", n, g.Label(id))
+		}
+	}
+	for _, e := range g.edges {
+		var attrs []string
+		if opt.EdgeLabel != nil {
+			if l := opt.EdgeLabel(e); l != "" {
+				attrs = append(attrs, fmt.Sprintf("label=%q", l))
+			}
+		}
+		if opt.EdgeWidth != nil {
+			attrs = append(attrs, fmt.Sprintf("penwidth=%.2f", opt.EdgeWidth(e)))
+		}
+		if opt.Highlight != nil && opt.Highlight(e) {
+			attrs = append(attrs, "color=red", "style=bold")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  n%d -- n%d [%s];\n", e.U, e.V, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  n%d -- n%d;\n", e.U, e.V)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConnected builds a random connected graph with n nodes: a random
+// spanning tree plus extra random edges.
+func randomConnected(rng *rand.Rand, n, extra int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode("n")
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		g.AddWeightedEdge(NodeID(i), NodeID(j), 1, 1+rng.Float64()*9)
+	}
+	for i := 0; i < extra; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddWeightedEdge(NodeID(u), NodeID(v), 1, 1+rng.Float64()*9)
+	}
+	return g
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality over every
+// edge, and every returned path validates.
+func TestDijkstraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		g := randomConnected(rng, n, rng.Intn(2*n))
+		src := NodeID(rng.Intn(n))
+		paths := g.ShortestPaths(src)
+		dist := make([]float64, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		for d, p := range paths {
+			dist[d] = p.Cost
+			if err := p.Validate(g); err != nil {
+				t.Logf("seed %d: invalid path: %v", seed, err)
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if dist[e.V] > dist[e.U]+e.Weight+1e-9 || dist[e.U] > dist[e.V]+e.Weight+1e-9 {
+				t.Logf("seed %d: triangle inequality violated on edge %d", seed, e.ID)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the first path of KShortestPaths equals ShortestPath, costs
+// are non-decreasing, and all paths are simple and valid.
+func TestKShortestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := randomConnected(rng, n, n)
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		if src == dst {
+			return true
+		}
+		sp, ok := g.ShortestPath(src, dst)
+		if !ok {
+			return true
+		}
+		ks := g.KShortestPaths(src, dst, 4)
+		if len(ks) == 0 || math.Abs(ks[0].Cost-sp.Cost) > 1e-9 {
+			t.Logf("seed %d: k-shortest first path cost mismatch", seed)
+			return false
+		}
+		prev := 0.0
+		for i, p := range ks {
+			if err := p.Validate(g); err != nil {
+				t.Logf("seed %d: path %d invalid: %v", seed, i, err)
+				return false
+			}
+			if p.Cost < prev-1e-9 {
+				t.Logf("seed %d: costs decrease at %d", seed, i)
+				return false
+			}
+			prev = p.Cost
+			seen := make(map[NodeID]bool)
+			for _, nd := range p.Nodes {
+				if seen[nd] {
+					t.Logf("seed %d: path %d not simple", seed, i)
+					return false
+				}
+				seen[nd] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Reachable from any node of a randomConnected graph covers all
+// nodes.
+func TestReachableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomConnected(rng, n, 0)
+		src := NodeID(rng.Intn(n))
+		return len(g.Reachable(src)) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

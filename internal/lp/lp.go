@@ -1,0 +1,253 @@
+// Package lp implements a self-contained dense linear-programming solver:
+// a two-phase primal simplex with bounded variables and Bland anti-cycling.
+//
+// The paper solves its placement formulations with CPLEX; this package is
+// the from-scratch substitute (see DESIGN.md §4). It targets the modest
+// instance sizes of the paper's evaluation (hundreds of rows/columns),
+// favouring correctness and determinism over large-scale performance:
+// the tableau is dense and every solve is reproducible.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+const (
+	// Minimize the objective.
+	Minimize Sense = iota
+	// Maximize the objective.
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is a ≤ constraint.
+	LE Rel = iota
+	// EQ is an = constraint.
+	EQ
+	// GE is a ≥ constraint.
+	GE
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can improve without limit.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Var identifies a decision variable within a Problem.
+type Var int
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Inf is the bound used for unbounded-above variables.
+var Inf = math.Inf(1)
+
+// Problem is a linear program under construction. Create one with
+// NewProblem, add variables and constraints, then call Solve.
+type Problem struct {
+	sense   Sense
+	names   []string
+	lower   []float64
+	upper   []float64
+	cost    []float64
+	rows    []row
+	maxIter int
+}
+
+type row struct {
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// NewProblem returns an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// SetMaxIterations overrides the simplex iteration budget (default:
+// 200·(rows+cols)+5000, which is generous for the paper's instances).
+func (p *Problem) SetMaxIterations(n int) { p.maxIter = n }
+
+// AddVariable adds a decision variable with bounds [lower, upper] and the
+// given objective coefficient, returning its handle. lower must be finite
+// and not exceed upper; upper may be lp.Inf.
+func (p *Problem) AddVariable(name string, lower, upper, cost float64) Var {
+	if math.IsInf(lower, 0) || math.IsNaN(lower) {
+		panic(fmt.Sprintf("lp: variable %q has non-finite lower bound %g", name, lower))
+	}
+	if lower > upper {
+		panic(fmt.Sprintf("lp: variable %q has empty bound range [%g,%g]", name, lower, upper))
+	}
+	p.names = append(p.names, name)
+	p.lower = append(p.lower, lower)
+	p.upper = append(p.upper, upper)
+	p.cost = append(p.cost, cost)
+	return Var(len(p.names) - 1)
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// VarName returns the name given to v at creation.
+func (p *Problem) VarName(v Var) string { return p.names[v] }
+
+// Bounds returns the bounds of v.
+func (p *Problem) Bounds(v Var) (lower, upper float64) { return p.lower[v], p.upper[v] }
+
+// SetBounds replaces the bounds of v. It is used by the branch-and-bound
+// MIP solver to fix or restrict integer variables between solves.
+func (p *Problem) SetBounds(v Var, lower, upper float64) {
+	if math.IsInf(lower, 0) || math.IsNaN(lower) || lower > upper {
+		panic(fmt.Sprintf("lp: bad bounds [%g,%g] for %q", lower, upper, p.names[v]))
+	}
+	p.lower[v] = lower
+	p.upper[v] = upper
+}
+
+// SetCost replaces the objective coefficient of v.
+func (p *Problem) SetCost(v Var, cost float64) { p.cost[v] = cost }
+
+// AddConstraint adds the linear constraint Σ terms rel rhs. Terms
+// referencing the same variable are accumulated.
+func (p *Problem) AddConstraint(rel Rel, rhs float64, terms ...Term) {
+	for _, t := range terms {
+		if t.Var < 0 || int(t.Var) >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.rows = append(p.rows, row{terms: cp, rel: rel, rhs: rhs})
+}
+
+// Solution is the result of a successful or failed solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds one value per variable, indexed by Var. It is nil unless
+	// Status is Optimal.
+	X []float64
+	// Iterations is the total simplex iterations over both phases.
+	Iterations int
+}
+
+// Value returns the solved value of v.
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// ErrNoVariables is returned when Solve is called on an empty problem.
+var ErrNoVariables = errors.New("lp: problem has no variables")
+
+// Evaluate returns the objective value of x and whether x satisfies all
+// constraints and bounds within tolerance. It is used by branch-and-bound
+// warm starts to validate caller-provided incumbents.
+func (p *Problem) Evaluate(x []float64) (objective float64, feasible bool) {
+	if len(x) != len(p.names) {
+		return 0, false
+	}
+	for j := range x {
+		if x[j] < p.lower[j]-epsFeas || x[j] > p.upper[j]+epsFeas {
+			return 0, false
+		}
+		objective += p.cost[j] * x[j]
+	}
+	for _, r := range p.rows {
+		lhs := 0.0
+		for _, t := range r.terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch r.rel {
+		case LE:
+			if lhs > r.rhs+1e-6 {
+				return 0, false
+			}
+		case GE:
+			if lhs < r.rhs-1e-6 {
+				return 0, false
+			}
+		case EQ:
+			if math.Abs(lhs-r.rhs) > 1e-6 {
+				return 0, false
+			}
+		}
+	}
+	return objective, true
+}
+
+// Solve runs the two-phase simplex and returns the solution. The Problem
+// is not modified and may be solved again (e.g. after SetBounds).
+func (p *Problem) Solve() (*Solution, error) {
+	if len(p.names) == 0 {
+		return nil, ErrNoVariables
+	}
+	t := newTableau(p)
+	st := t.phase1()
+	if st == Infeasible {
+		return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iterations: t.iters}, nil
+	}
+	st = t.phase2()
+	switch st {
+	case Unbounded:
+		return &Solution{Status: Unbounded, Iterations: t.iters}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit, Iterations: t.iters}, nil
+	}
+	x := t.extract()
+	obj := 0.0
+	for j, c := range p.cost {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: t.iters}, nil
+}

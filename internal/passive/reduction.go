@@ -1,0 +1,174 @@
+package passive
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+)
+
+// FromSetCover builds the Theorem 1 gadget: a PPM(1) instance whose
+// optimal solutions correspond one-to-one (after the substitution
+// argument of the proof) to optimal set covers of the given Minimum Set
+// Cover instance. The construction follows the proof of Theorem 1:
+//
+//   - every set c_i becomes an edge e_i;
+//   - whenever c_i ∩ c_j ≠ ∅, two bridging edges e_ij, e_ji close a
+//     4-cycle with e_i and e_j;
+//   - every element u becomes a unit traffic whose path walks through
+//     the edges of the sets containing u, bridged by the e_ij edges.
+//
+// SetEdges[i] reports which POP edge realizes set c_i, so tests can map
+// solutions back.
+func FromSetCover(sets [][]int, numElements int) (in *core.Instance, setEdges []graph.EdgeID, err error) {
+	ci := cover.Instance{NumElements: numElements, Sets: sets}
+	if err := ci.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Every element must be in some set, otherwise PPM(1) is infeasible
+	// and the equivalence is void.
+	inSome := make([]bool, numElements)
+	containing := make([][]int, numElements) // element -> set indices
+	for si, s := range sets {
+		for _, e := range s {
+			inSome[e] = true
+			containing[e] = append(containing[e], si)
+		}
+	}
+	for e, ok := range inSome {
+		if !ok {
+			return nil, nil, fmt.Errorf("passive: element %d not covered by any set", e)
+		}
+	}
+
+	g := graph.New()
+	// Edge e_i for set c_i: its own pair of vertices (2|C| vertices as
+	// in the proof).
+	setEdges = make([]graph.EdgeID, len(sets))
+	heads := make([]graph.NodeID, len(sets))
+	tails := make([]graph.NodeID, len(sets))
+	for i := range sets {
+		heads[i] = g.AddNode(fmt.Sprintf("c%d.a", i))
+		tails[i] = g.AddNode(fmt.Sprintf("c%d.b", i))
+		setEdges[i] = g.AddEdge(heads[i], tails[i], 1)
+	}
+	// Bridging 4-cycle edges for intersecting sets: e_ij joins the tail
+	// of e_i to the head of e_j, e_ji joins the tail of e_j to the head
+	// of e_i. We give bridges a large routing weight so shortest paths
+	// irrelevant here stay deterministic.
+	type sp struct{ i, j int }
+	bridge := make(map[sp]graph.EdgeID)
+	intersects := func(a, b []int) bool {
+		seen := make(map[int]bool, len(a))
+		for _, x := range a {
+			seen[x] = true
+		}
+		for _, x := range b {
+			if seen[x] {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			if !intersects(sets[i], sets[j]) {
+				continue
+			}
+			bridge[sp{i, j}] = g.AddEdge(tails[i], heads[j], 1)
+			bridge[sp{j, i}] = g.AddEdge(tails[j], heads[i], 1)
+		}
+	}
+
+	// One unit traffic per element: walk e_{s1}, bridge, e_{s2}, ...
+	in = &core.Instance{G: g}
+	for u := 0; u < numElements; u++ {
+		cs := containing[u]
+		nodes := []graph.NodeID{heads[cs[0]]}
+		var edges []graph.EdgeID
+		cost := 0.0
+		cur := heads[cs[0]]
+		push := func(e graph.EdgeID) {
+			edge := g.Edge(e)
+			cur = edge.Other(cur)
+			nodes = append(nodes, cur)
+			edges = append(edges, e)
+			cost += edge.Weight
+		}
+		push(setEdges[cs[0]])
+		for x := 1; x < len(cs); x++ {
+			push(bridge[sp{cs[x-1], cs[x]}])
+			push(setEdges[cs[x]])
+		}
+		p := graph.Path{Nodes: nodes, Edges: edges, Cost: cost}
+		if err := p.Validate(g); err != nil {
+			return nil, nil, fmt.Errorf("passive: gadget path for element %d: %w", u, err)
+		}
+		in.Traffics = append(in.Traffics, core.Traffic{ID: u, Path: p, Volume: 1})
+	}
+	return in, setEdges, nil
+}
+
+// ToSetCover is the reverse direction of Theorem 1: any PPM instance is
+// a (partial, weighted) set-cover instance with S = D and C = {π_e}.
+// It is exactly the conversion the solvers use internally, exported for
+// the equivalence tests.
+func ToSetCover(in *core.Instance) cover.Instance {
+	return toCover(in)
+}
+
+// Canonicalize replaces every bridge edge e_ij in a solution of a
+// Theorem 1 gadget by one of its endpoints' set edges, implementing the
+// proof's substitution step, and returns the selected set indices.
+func Canonicalize(sets [][]int, setEdges []graph.EdgeID, chosen []graph.EdgeID, in *core.Instance) []int {
+	isSet := make(map[graph.EdgeID]int, len(setEdges))
+	for i, e := range setEdges {
+		isSet[e] = i
+	}
+	onEdge := in.TrafficsOnEdge()
+	var out []int
+	seen := make(map[int]bool)
+	for _, e := range chosen {
+		if si, ok := isSet[e]; ok {
+			if !seen[si] {
+				seen[si] = true
+				out = append(out, si)
+			}
+			continue
+		}
+		// Bridge edge: every traffic crossing it also crosses the set
+		// edges on both sides; replace by the set covering the most
+		// elements among those traffics.
+		counts := make(map[int]int)
+		for _, ti := range onEdge[e] {
+			for _, si := range containingSets(sets, ti) {
+				counts[si]++
+			}
+		}
+		best, bestN := -1, -1
+		for si, n := range counts {
+			if n > bestN || (n == bestN && si < best) {
+				best, bestN = si, n
+			}
+		}
+		if best >= 0 && !seen[best] {
+			seen[best] = true
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+func containingSets(sets [][]int, element int) []int {
+	var out []int
+	for si, s := range sets {
+		for _, e := range s {
+			if e == element {
+				out = append(out, si)
+				break
+			}
+		}
+	}
+	return out
+}

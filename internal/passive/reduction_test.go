@@ -1,0 +1,170 @@
+package passive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cover"
+)
+
+// bruteSetCover returns the optimal cover size by enumeration.
+func bruteSetCover(sets [][]int, n int) int {
+	best := math.MaxInt32
+	for mask := 0; mask < 1<<len(sets); mask++ {
+		covered := make([]bool, n)
+		cnt := 0
+		for s := range sets {
+			if mask&(1<<s) != 0 {
+				cnt++
+				for _, e := range sets[s] {
+					covered[e] = true
+				}
+			}
+		}
+		all := true
+		for _, c := range covered {
+			all = all && c
+		}
+		if all && cnt < best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestFromSetCoverRejectsUncoverable(t *testing.T) {
+	if _, _, err := FromSetCover([][]int{{0}}, 2); err == nil {
+		t.Fatal("element 1 uncoverable; want error")
+	}
+	if _, _, err := FromSetCover([][]int{{5}}, 2); err == nil {
+		t.Fatal("out-of-range element; want error")
+	}
+}
+
+func TestTheorem1GadgetSmall(t *testing.T) {
+	// Sets: {0,1}, {1,2}, {2,3}; optimum is 2 ({0,1},{2,3}).
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}}
+	in, setEdges, err := FromSetCover(sets, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := ExactCover(in, 1, cover.ExactOptions{})
+	if !pl.Exact {
+		t.Fatal("gadget not solved to optimality")
+	}
+	chosen := Canonicalize(sets, setEdges, pl.Edges, in)
+	if len(chosen) != 2 {
+		t.Fatalf("canonical cover size %d, want 2 (raw placement %v)", len(chosen), pl.Edges)
+	}
+	// Verify it is a cover.
+	covered := make([]bool, 4)
+	for _, si := range chosen {
+		for _, e := range sets[si] {
+			covered[e] = true
+		}
+	}
+	for e, c := range covered {
+		if !c {
+			t.Fatalf("element %d uncovered by canonical solution", e)
+		}
+	}
+}
+
+// Property (Theorem 1): the optimal PPM(1) value on the gadget equals
+// the optimal set-cover value, and canonicalization yields a valid cover
+// of that size.
+func TestTheorem1Equivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(5)
+		sets := make([][]int, m)
+		for s := range sets {
+			size := 1 + rng.Intn(n)
+			seen := map[int]bool{}
+			for len(sets[s]) < size {
+				e := rng.Intn(n)
+				if !seen[e] {
+					seen[e] = true
+					sets[s] = append(sets[s], e)
+				}
+			}
+		}
+		// Ensure coverability.
+		for e := 0; e < n; e++ {
+			sets[e%m] = append(sets[e%m], e)
+		}
+		for s := range sets {
+			sets[s] = dedupe(sets[s])
+		}
+		want := bruteSetCover(sets, n)
+
+		in, setEdges, err := FromSetCover(sets, n)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		pl := ExactCover(in, 1, cover.ExactOptions{})
+		if !pl.Exact {
+			t.Logf("seed %d: not exact", seed)
+			return false
+		}
+		if pl.Devices() != want {
+			t.Logf("seed %d: PPM(1) opt %d != MSC opt %d", seed, pl.Devices(), want)
+			return false
+		}
+		chosen := Canonicalize(sets, setEdges, pl.Edges, in)
+		if len(chosen) > want {
+			t.Logf("seed %d: canonical cover %d > opt %d", seed, len(chosen), want)
+			return false
+		}
+		covered := make([]bool, n)
+		for _, si := range chosen {
+			for _, e := range sets[si] {
+				covered[e] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				t.Logf("seed %d: canonical solution is not a cover", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Property (Theorem 1 reverse): ToSetCover of any instance has the same
+// optimum as PPM(1) on that instance.
+func TestToSetCoverConsistency(t *testing.T) {
+	in := smallInstance(42)
+	ci := ToSetCover(in)
+	if err := ci.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := cover.Exact(ci, ci.TotalWeight(), cover.ExactOptions{})
+	pl := ExactCover(in, 1, cover.ExactOptions{})
+	if len(res.Chosen) != pl.Devices() {
+		t.Fatalf("set-cover optimum %d != PPM(1) optimum %d", len(res.Chosen), pl.Devices())
+	}
+}

@@ -1,0 +1,110 @@
+package passive
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// RandomizedRounding is the other flow-based heuristic §4.3 mentions
+// ("The MECF framework allows to develop other flow-based heuristics
+// such as randomized rounding or branching algorithms"): solve the LP
+// relaxation of Linear program 2, then repeatedly open each link e with
+// probability min(1, α·x̄_e), boosting α until the coverage target is
+// met; a reverse-delete pass prunes redundant devices. The result is a
+// feasible placement whose expected size is within O(log) of the LP
+// optimum, per the classical covering-LP rounding argument.
+func RandomizedRounding(in *core.Instance, k float64, seed int64) (Placement, error) {
+	checkK(k)
+	if err := in.Validate(); err != nil {
+		return Placement{}, err
+	}
+	frac, err := lp2Relaxation(in, k)
+	if err != nil {
+		return Placement{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	target := k * in.TotalVolume()
+
+	chosen := make(map[graph.EdgeID]bool)
+	// Boost the opening probabilities geometrically until feasible; the
+	// relaxation guarantees feasibility at full opening, so this loop
+	// terminates (α doubling reaches min(1, α·x̄)=1 for every x̄ > 0, and
+	// links with x̄ = 0 are unnecessary for feasibility only if the LP
+	// found a cover without them — rounding keeps drawing until the
+	// target is reached, falling back to opening everything).
+	for alpha := 1.0; ; alpha *= 2 {
+		for e, xbar := range frac {
+			if chosen[graph.EdgeID(e)] {
+				continue
+			}
+			p := math.Min(1, alpha*xbar)
+			if p > 0 && rng.Float64() < p {
+				chosen[graph.EdgeID(e)] = true
+			}
+		}
+		vol, _ := Coverage(in, keysOf(chosen))
+		if vol >= target-1e-9 {
+			break
+		}
+		if alpha > float64(uint64(1)<<40) {
+			// Degenerate LP solution: open everything still uncovered.
+			for e := 0; e < in.G.NumEdges(); e++ {
+				chosen[graph.EdgeID(e)] = true
+			}
+			break
+		}
+	}
+	edges := pruneRedundant(in, keysOf(chosen), target)
+	return finish(in, edges, false, "randomized-rounding"), nil
+}
+
+// lp2Relaxation solves the continuous relaxation of Linear program 2
+// and returns the fractional x̄ per edge.
+func lp2Relaxation(in *core.Instance, k float64) ([]float64, error) {
+	p := lp.NewProblem(lp.Minimize)
+	m := in.G.NumEdges()
+	xs := make([]lp.Var, m)
+	for e := 0; e < m; e++ {
+		xs[e] = p.AddVariable("x", 0, 1, 1)
+	}
+	ds := make([]lp.Var, len(in.Traffics))
+	for ti := range in.Traffics {
+		ds[ti] = p.AddVariable("d", 0, 1, 0)
+	}
+	for ti, t := range in.Traffics {
+		terms := make([]lp.Term, 0, t.Path.Len()+1)
+		for _, e := range t.Path.Edges {
+			terms = append(terms, lp.Term{Var: xs[e], Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: ds[ti], Coef: -1})
+		p.AddConstraint(lp.GE, 0, terms...)
+	}
+	cov := make([]lp.Term, len(in.Traffics))
+	for ti, t := range in.Traffics {
+		cov[ti] = lp.Term{Var: ds[ti], Coef: t.Volume}
+	}
+	p.AddConstraint(lp.GE, k*in.TotalVolume(), cov...)
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, errStatus(sol.Status)
+	}
+	out := make([]float64, m)
+	for e := 0; e < m; e++ {
+		out[e] = sol.Value(xs[e])
+	}
+	return out, nil
+}
+
+type errStatus lp.Status
+
+func (e errStatus) Error() string {
+	return "passive: LP relaxation ended with status " + lp.Status(e).String()
+}

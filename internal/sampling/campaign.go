@@ -1,0 +1,82 @@
+package sampling
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Campaign implements the third perspective of the paper's conclusion
+// (§7): a measurement campaign where the operator of a POP "can modify
+// the routing strategy in order to maximize the monitoring ratio, given
+// a set of already installed measurement points".
+//
+// Each traffic may be steered onto any of its candidate routes (the
+// load-balancing alternatives of §5). With device positions and
+// sampling rates fixed, route choices are independent across traffics:
+// the campaign selects, per traffic, the route with the highest
+// monitored share min(1, Σ_{e∈route} r_e).
+//
+// It returns the re-routed instance (one chosen route per traffic,
+// carrying the traffic's full volume) and the resulting coverage
+// fraction.
+func Campaign(in *core.MultiInstance, rates map[graph.EdgeID]float64) (*core.MultiInstance, float64) {
+	out := &core.MultiInstance{G: in.G}
+	covered := 0.0
+	total := 0.0
+	for _, t := range in.Traffics {
+		vol := t.Volume()
+		total += vol
+		best := 0
+		bestShare := -1.0
+		for ri, r := range t.Routes {
+			share := 0.0
+			for _, e := range r.Path.Edges {
+				share += rates[e]
+			}
+			if share > 1 {
+				share = 1
+			}
+			// Ties: prefer the cheaper (earlier, shortest-first) route,
+			// so the campaign does not degrade routing needlessly.
+			if share > bestShare+1e-12 {
+				best, bestShare = ri, share
+			}
+		}
+		covered += bestShare * vol
+		out.Traffics = append(out.Traffics, core.MultiTraffic{
+			ID:  t.ID,
+			Src: t.Src,
+			Dst: t.Dst,
+			Routes: []core.Route{{
+				Path:   t.Routes[best].Path.Clone(),
+				Volume: vol,
+			}},
+		})
+	}
+	if total == 0 {
+		return out, 0
+	}
+	return out, covered / total
+}
+
+// CampaignGain compares the coverage of the default routing (volumes
+// split over all routes) with the campaign's optimized routing under
+// the same devices and rates, returning both fractions.
+func CampaignGain(in *core.MultiInstance, rates map[graph.EdgeID]float64) (before, after float64) {
+	covered := 0.0
+	for _, fp := range in.Paths() {
+		share := 0.0
+		for _, e := range fp.Path.Edges {
+			share += rates[e]
+		}
+		if share > 1 {
+			share = 1
+		}
+		covered += share * fp.Volume
+	}
+	if tv := in.TotalVolume(); tv > 0 {
+		before = covered / tv
+	}
+	_, after = Campaign(in, rates)
+	return before, after
+}

@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestCampaignPrefersMonitoredRoute(t *testing.T) {
+	in := multiInstance(21, 3)
+	// Install a single device at full rate on edge 0.
+	rates := map[graph.EdgeID]float64{0: 1}
+	rerouted, after := Campaign(in, rates)
+	if err := rerouted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	before, after2 := CampaignGain(in, rates)
+	if after != after2 {
+		t.Fatalf("Campaign and CampaignGain disagree: %g vs %g", after, after2)
+	}
+	if after < before-1e-9 {
+		t.Fatalf("campaign decreased coverage: %g -> %g", before, after)
+	}
+	// Every traffic keeps its volume and endpoints on exactly one route.
+	if len(rerouted.Traffics) != len(in.Traffics) {
+		t.Fatal("traffic count changed")
+	}
+	for i, tr := range rerouted.Traffics {
+		if len(tr.Routes) != 1 {
+			t.Fatalf("traffic %d has %d routes after campaign", i, len(tr.Routes))
+		}
+		if tr.Volume() != in.Traffics[i].Volume() {
+			t.Fatalf("traffic %d volume changed: %g vs %g", i, tr.Volume(), in.Traffics[i].Volume())
+		}
+	}
+}
+
+// Property: the campaign never lowers coverage and its result is the
+// per-traffic maximum over candidate routes.
+func TestCampaignProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := multiInstance(seed, 3)
+		// Devices on every third edge at mixed rates.
+		rates := map[graph.EdgeID]float64{}
+		for e := 0; e < in.G.NumEdges(); e += 3 {
+			rates[graph.EdgeID(e)] = 0.25 + float64(e%4)*0.25
+		}
+		before, after := CampaignGain(in, rates)
+		if after < before-1e-9 {
+			t.Logf("seed %d: coverage dropped %g -> %g", seed, before, after)
+			return false
+		}
+		// Manual per-traffic maximum check.
+		want := 0.0
+		total := 0.0
+		for _, tr := range in.Traffics {
+			best := 0.0
+			for _, r := range tr.Routes {
+				share := 0.0
+				for _, e := range r.Path.Edges {
+					share += rates[e]
+				}
+				if share > 1 {
+					share = 1
+				}
+				if share > best {
+					best = share
+				}
+			}
+			want += best * tr.Volume()
+			total += tr.Volume()
+		}
+		want /= total
+		if diff := want - after; diff > 1e-9 || diff < -1e-9 {
+			t.Logf("seed %d: campaign %g != per-traffic max %g", seed, after, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignWithSolvedRates(t *testing.T) {
+	in := multiInstance(22, 3)
+	sol, err := Solve(in, Config{K: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := CampaignGain(in, sol.Rates)
+	if before < 0.75-1e-6 {
+		t.Fatalf("solved coverage %g below k", before)
+	}
+	if after < before-1e-9 {
+		t.Fatal("campaign lost coverage on a solved deployment")
+	}
+}

@@ -1,0 +1,110 @@
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Controller implements the dynamic-traffic maintenance strategy of
+// §5.4:
+//
+//  1. While Σ δ_p·v_p ≥ T·Σ v_p, wait;
+//  2. When the monitored share drops below the tolerance threshold T,
+//     recompute PPME*(x,h,k) and update all sampling rates;
+//  3. Goto 1.
+//
+// Device positions never move (migrating a tap requires human
+// maintenance); only rates adapt.
+type Controller struct {
+	installed []graph.EdgeID
+	cfg       Config
+	threshold float64
+
+	rates  map[graph.EdgeID]float64
+	shares []float64 // δ_p from the last re-optimization
+
+	// Recomputes counts how many times the controller had to re-solve
+	// PPME*; Observations counts Observe calls.
+	Recomputes   int
+	Observations int
+}
+
+// NewController builds a controller from an initial instance: it solves
+// PPME*(installed, h, k) once to set the starting rates. threshold is
+// the paper's T and must satisfy 0 < T ≤ cfg.K.
+func NewController(in *core.MultiInstance, installed []graph.EdgeID, cfg Config, threshold float64) (*Controller, error) {
+	if threshold <= 0 || threshold > cfg.K {
+		return nil, fmt.Errorf("sampling: threshold %g outside (0, k=%g]", threshold, cfg.K)
+	}
+	c := &Controller{
+		installed: append([]graph.EdgeID(nil), installed...),
+		cfg:       cfg,
+		threshold: threshold,
+	}
+	if err := c.reoptimize(in); err != nil {
+		return nil, err
+	}
+	c.Recomputes = 0 // the initial solve is setup, not an adaptation
+	return c, nil
+}
+
+// Rates returns the current sampling ratios.
+func (c *Controller) Rates() map[graph.EdgeID]float64 {
+	out := make(map[graph.EdgeID]float64, len(c.rates))
+	for e, r := range c.rates {
+		out[e] = r
+	}
+	return out
+}
+
+// AchievedFraction evaluates the coverage the *current* rates achieve on
+// the given traffic: δ_p is recomputed as min(1, Σ_{e∈p} r_e) while the
+// rates stay fixed — what the deployed devices actually capture after
+// the traffic drifted.
+func (c *Controller) AchievedFraction(in *core.MultiInstance) float64 {
+	covered := 0.0
+	for _, fp := range in.Paths() {
+		rate := 0.0
+		for _, e := range fp.Path.Edges {
+			rate += c.rates[e]
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		covered += rate * fp.Volume
+	}
+	tv := in.TotalVolume()
+	if tv == 0 {
+		return 0
+	}
+	return covered / tv
+}
+
+// Observe feeds the controller the current traffic. When the achieved
+// coverage is still at or above the threshold it waits (returns false);
+// otherwise it re-optimizes the rates with PPME* and returns true. An
+// error means even full-rate sampling cannot reach k on the drifted
+// traffic (the operator must add devices — back to PPME).
+func (c *Controller) Observe(in *core.MultiInstance) (recomputed bool, err error) {
+	c.Observations++
+	if c.AchievedFraction(in) >= c.threshold-1e-12 {
+		return false, nil
+	}
+	if err := c.reoptimize(in); err != nil {
+		return false, err
+	}
+	c.Recomputes++
+	return true, nil
+}
+
+func (c *Controller) reoptimize(in *core.MultiInstance) error {
+	sol, err := SolveRates(in, c.installed, c.cfg)
+	if err != nil {
+		return err
+	}
+	c.rates = sol.Rates
+	c.shares = sol.PathShares
+	return nil
+}

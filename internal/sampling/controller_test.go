@@ -1,0 +1,121 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// driftSetup returns a POP, its demands, a routed instance and a
+// placement able to reach full coverage.
+func driftSetup(t *testing.T, seed int64) (*topology.POP, []traffic.Demand, *core.MultiInstance, []int) {
+	t.Helper()
+	cfg := topology.Config{Routers: 6, InterRouterLinks: 10, Endpoints: 6, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	mi, err := traffic.RouteMulti(pop, demands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop, demands, mi, nil
+}
+
+func TestControllerWaitsWhileAboveThreshold(t *testing.T) {
+	pop, demands, mi, _ := driftSetup(t, 1)
+	// Install on every edge so any k is reachable.
+	installed := everyEdge(mi)
+	cfg := Config{K: 0.9}
+	c, err := NewController(mi, installed, cfg, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AchievedFraction(mi) < 0.9-1e-9 {
+		t.Fatalf("initial rates reach %g < k", c.AchievedFraction(mi))
+	}
+	// Tiny drift: coverage stays above T, no recompute.
+	mi2, err := traffic.RouteMulti(pop, traffic.Perturb(demands, 0.01, 99), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := c.Observe(mi2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re || c.Recomputes != 0 {
+		t.Fatalf("controller recomputed on negligible drift (achieved %g)", c.AchievedFraction(mi2))
+	}
+}
+
+func TestControllerRecomputesOnDrift(t *testing.T) {
+	pop, demands, mi, _ := driftSetup(t, 2)
+	installed := everyEdge(mi)
+	cfg := Config{K: 0.9}
+	c, err := NewController(mi, installed, cfg, 0.895)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong drift: swing volumes so the optimized (minimal) rates no
+	// longer cover 89.5%.
+	drifted := mi
+	recomputed := false
+	for round := int64(0); round < 12 && !recomputed; round++ {
+		d2 := traffic.Perturb(demands, 0.9, 1000+round)
+		var err error
+		drifted, err = traffic.RouteMulti(pop, d2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recomputed, err = c.Observe(drifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !recomputed {
+		t.Skip("perturbations never crossed the threshold on this seed")
+	}
+	// After recomputation, the new rates must reach k on the new traffic.
+	if got := c.AchievedFraction(drifted); got < cfg.K-1e-6 {
+		t.Fatalf("post-recompute coverage %g < k=%g", got, cfg.K)
+	}
+	if c.Recomputes < 1 {
+		t.Fatal("recompute counter not incremented")
+	}
+}
+
+func TestControllerBadThreshold(t *testing.T) {
+	_, _, mi, _ := driftSetup(t, 3)
+	if _, err := NewController(mi, everyEdge(mi), Config{K: 0.9}, 0.95); err == nil {
+		t.Fatal("threshold above k accepted")
+	}
+	if _, err := NewController(mi, everyEdge(mi), Config{K: 0.9}, 0); err == nil {
+		t.Fatal("zero threshold accepted")
+	}
+}
+
+func TestControllerRatesCopied(t *testing.T) {
+	_, _, mi, _ := driftSetup(t, 4)
+	c, err := NewController(mi, everyEdge(mi), Config{K: 0.8}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Rates()
+	for e := range r {
+		r[e] = 42
+	}
+	for _, v := range c.Rates() {
+		if v == 42 {
+			t.Fatal("Rates returned internal map")
+		}
+	}
+}
+
+func everyEdge(in *core.MultiInstance) []graph.EdgeID {
+	out := make([]graph.EdgeID, in.G.NumEdges())
+	for e := range out {
+		out[e] = graph.EdgeID(e)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package sampling
+
+import (
+	"math"
+	"sort"
+)
+
+// TraceStats aggregates a sampled trace per flow.
+type TraceStats struct {
+	// SampledPackets[flow] counts captured frames per flow.
+	SampledPackets map[int]int
+	// SampledSYNs counts captured TCP SYN frames.
+	SampledSYNs int
+	// Total counts all captured frames.
+	Total int
+}
+
+// CollectTrace runs a sampler over a packet stream and aggregates the
+// captured frames.
+func CollectTrace(s Sampler, packets []Packet) TraceStats {
+	st := TraceStats{SampledPackets: make(map[int]int)}
+	for _, p := range packets {
+		if !s.Sample(p) {
+			continue
+		}
+		st.Total++
+		st.SampledPackets[p.Flow]++
+		if p.SYN {
+			st.SampledSYNs++
+		}
+	}
+	return st
+}
+
+// EstimateFlowCountSYN implements the estimator of Duffield, Lund and
+// Thorup [5] cited in §5.2: TCP flows start with a SYN, so the number of
+// flows is estimated by the number of sampled SYNs scaled by the inverse
+// sampling rate.
+func EstimateFlowCountSYN(st TraceStats, rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	return float64(st.SampledSYNs) / rate
+}
+
+// EstimateFlowSizes scales per-flow sampled counts by the inverse
+// sampling rate — the naive estimator whose mice/elephant bias §5.2
+// discusses (the Metropolis project observations).
+func EstimateFlowSizes(st TraceStats, rate float64) map[int]float64 {
+	out := make(map[int]float64, len(st.SampledPackets))
+	if rate <= 0 {
+		return out
+	}
+	for f, n := range st.SampledPackets {
+		out[f] = float64(n) / rate
+	}
+	return out
+}
+
+// Classification is a mice/elephant split of flows by packet count.
+type Classification struct {
+	Mice, Elephants []int
+}
+
+// Classify splits flows at the given packet-count threshold: flows with
+// at least threshold packets are elephants (long flows), the rest mice.
+func Classify(sizes map[int]float64, threshold float64) Classification {
+	var c Classification
+	for f, n := range sizes {
+		if n >= threshold {
+			c.Elephants = append(c.Elephants, f)
+		} else {
+			c.Mice = append(c.Mice, f)
+		}
+	}
+	sort.Ints(c.Mice)
+	sort.Ints(c.Elephants)
+	return c
+}
+
+// BiasReport quantifies how sampling distorts flow statistics, the
+// §5.2 discussion: with 1-in-1000 sampling most mice are simply never
+// seen, while the volume attributed to observed flows is inflated by the
+// inverse-rate scaling.
+type BiasReport struct {
+	// TrueFlows and SeenFlows count flows in the full and sampled trace.
+	TrueFlows, SeenFlows int
+	// MissedMice counts true mice with zero sampled packets.
+	MissedMice int
+	// ElephantRecall is the fraction of true elephants classified as
+	// elephants from the sampled trace.
+	ElephantRecall float64
+	// ElephantPrecision is the fraction of sampled-trace elephants that
+	// really are elephants.
+	ElephantPrecision float64
+	// VolumeError is |estimated − true| / true total packet volume.
+	VolumeError float64
+}
+
+// MeasureBias compares ground-truth per-flow packet counts against the
+// estimates from a sampled trace at the given rate and elephant
+// threshold.
+func MeasureBias(truth map[int]int, st TraceStats, rate, threshold float64) BiasReport {
+	rep := BiasReport{TrueFlows: len(truth), SeenFlows: len(st.SampledPackets)}
+
+	trueSizes := make(map[int]float64, len(truth))
+	trueTotal := 0.0
+	for f, n := range truth {
+		trueSizes[f] = float64(n)
+		trueTotal += float64(n)
+	}
+	est := EstimateFlowSizes(st, rate)
+	estTotal := 0.0
+	for _, v := range est {
+		estTotal += v
+	}
+	if trueTotal > 0 {
+		rep.VolumeError = math.Abs(estTotal-trueTotal) / trueTotal
+	}
+
+	trueClass := Classify(trueSizes, threshold)
+	estClass := Classify(est, threshold)
+	isTrueElephant := make(map[int]bool, len(trueClass.Elephants))
+	for _, f := range trueClass.Elephants {
+		isTrueElephant[f] = true
+	}
+	for _, f := range trueClass.Mice {
+		if st.SampledPackets[f] == 0 {
+			rep.MissedMice++
+		}
+	}
+	hit := 0
+	for _, f := range estClass.Elephants {
+		if isTrueElephant[f] {
+			hit++
+		}
+	}
+	if n := len(trueClass.Elephants); n > 0 {
+		rep.ElephantRecall = float64(hit) / float64(n)
+	}
+	if n := len(estClass.Elephants); n > 0 {
+		rep.ElephantPrecision = float64(hit) / float64(n)
+	}
+	return rep
+}
+
+// ElephantPosterior implements the Bayesian identification of [14]
+// (Mori et al.) cited in §5.2: the probability that a flow with y
+// sampled packets (rate r) has at least x packets in the full trace,
+// under a flow-size prior given as packet-count frequencies.
+//
+// prior maps flow size s to its prior probability P(size = s); it need
+// not be normalized. The likelihood of observing y samples from a flow
+// of size s is Binomial(s, r) at y.
+func ElephantPosterior(prior map[int]float64, y int, rate float64, x int) float64 {
+	if rate <= 0 || rate > 1 {
+		return 0
+	}
+	num, den := 0.0, 0.0
+	for s, p := range prior {
+		if p <= 0 || s < y {
+			continue
+		}
+		like := binomialPMF(s, y, rate) * p
+		den += like
+		if s >= x {
+			num += like
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// binomialPMF returns C(n,k) r^k (1-r)^(n-k) computed in log space for
+// numerical stability at large n.
+func binomialPMF(n, k int, r float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if r <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if r >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg := lgammaf(n+1) - lgammaf(k+1) - lgammaf(n-k+1) +
+		float64(k)*math.Log(r) + float64(n-k)*math.Log1p(-r)
+	return math.Exp(lg)
+}
+
+func lgammaf(x int) float64 {
+	v, _ := math.Lgamma(float64(x))
+	return v
+}

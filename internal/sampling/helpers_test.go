@@ -1,0 +1,20 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/passive"
+)
+
+// passiveOptimum returns the exact PPM(k) device count via the passive
+// package (no import cycle: passive does not depend on sampling).
+func passiveOptimum(t *testing.T, in *core.Instance, k float64) int {
+	t.Helper()
+	pl := passive.ExactCover(in, k, cover.ExactOptions{})
+	if !pl.Exact {
+		t.Fatal("passive optimum not proven")
+	}
+	return pl.Devices()
+}

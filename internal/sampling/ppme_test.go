@@ -1,0 +1,278 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func multiInstance(seed int64, routes int) *core.MultiInstance {
+	cfg := topology.Config{Routers: 5, InterRouterLinks: 8, Endpoints: 5, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	mi, err := traffic.RouteMulti(pop, demands, routes)
+	if err != nil {
+		panic(err)
+	}
+	return mi
+}
+
+func checkFeasible(t *testing.T, in *core.MultiInstance, s *Solution, cfg Config) {
+	t.Helper()
+	// δ_p ≤ Σ_{e∈p} r_e and δ, r ∈ [0,1].
+	paths := in.Paths()
+	for pi, fp := range paths {
+		sum := 0.0
+		for _, e := range fp.Path.Edges {
+			sum += s.Rates[graph.EdgeID(e)]
+		}
+		if s.PathShares[pi] > sum+1e-6 {
+			t.Fatalf("path %d: δ=%g > Σr=%g", pi, s.PathShares[pi], sum)
+		}
+	}
+	for e, r := range s.Rates {
+		if r < -1e-9 || r > 1+1e-9 {
+			t.Fatalf("rate[%d]=%g outside [0,1]", e, r)
+		}
+	}
+	if s.Fraction < cfg.K-1e-6 {
+		t.Fatalf("coverage %g < k=%g", s.Fraction, cfg.K)
+	}
+	if cfg.H != nil {
+		perT := make([]float64, len(in.Traffics))
+		for pi, fp := range paths {
+			perT[fp.Traffic] += s.PathShares[pi] * fp.Volume
+		}
+		for ti, tr := range in.Traffics {
+			if perT[ti] < cfg.H[ti]*tr.Volume()-1e-6 {
+				t.Fatalf("traffic %d floor violated: %g < %g", ti, perT[ti], cfg.H[ti]*tr.Volume())
+			}
+		}
+	}
+}
+
+func TestSolveBasic(t *testing.T) {
+	in := multiInstance(1, 2)
+	cfg := Config{K: 0.9}
+	s, err := Solve(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exact {
+		t.Fatal("MILP did not prove optimality")
+	}
+	if s.Devices() == 0 {
+		t.Fatal("no devices placed for k=0.9")
+	}
+	checkFeasible(t, in, s, cfg)
+	if math.Abs(s.Cost-(s.SetupCost+s.ExploitCost)) > 1e-9 {
+		t.Fatalf("cost split inconsistent: %g != %g+%g", s.Cost, s.SetupCost, s.ExploitCost)
+	}
+}
+
+func TestSolveWithPerTrafficFloors(t *testing.T) {
+	in := multiInstance(2, 2)
+	h := make([]float64, len(in.Traffics))
+	for i := range h {
+		h[i] = 0.5
+	}
+	cfg := Config{K: 0.8, H: h}
+	s, err := Solve(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, s, cfg)
+}
+
+func TestSolveFloorsRaiseCost(t *testing.T) {
+	in := multiInstance(3, 2)
+	base, err := Solve(in, Config{K: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := make([]float64, len(in.Traffics))
+	for i := range h {
+		h[i] = 0.8
+	}
+	floored, err := Solve(in, Config{K: 0.8, H: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floored.Cost < base.Cost-1e-6 {
+		t.Fatalf("adding floors lowered cost: %g < %g", floored.Cost, base.Cost)
+	}
+}
+
+func TestSolveConfigValidation(t *testing.T) {
+	in := multiInstance(4, 1)
+	for name, cfg := range map[string]Config{
+		"k zero":     {K: 0},
+		"k above 1":  {K: 1.2},
+		"h len":      {K: 0.9, H: []float64{0.5}},
+		"h above k":  {K: 0.5, H: mkH(len(in.Traffics), 0.9)},
+		"h negative": {K: 0.9, H: mkH(len(in.Traffics), -0.1)},
+	} {
+		if _, err := Solve(in, cfg); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func mkH(n int, v float64) []float64 {
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = v
+	}
+	return h
+}
+
+func TestSolveRatesMatchesFixedPlacement(t *testing.T) {
+	in := multiInstance(5, 2)
+	cfg := Config{K: 0.85}
+	full, err := Solve(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-optimizing rates on the placement PPME chose must not cost
+	// more (exploitation-wise) than the PPME solution itself.
+	rates, err := SolveRates(in, full.Edges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, rates, cfg)
+	if rates.ExploitCost > full.ExploitCost+1e-6 {
+		t.Fatalf("PPME* exploitation %g > PPME's %g on the same placement", rates.ExploitCost, full.ExploitCost)
+	}
+	if rates.SetupCost != 0 {
+		t.Fatal("PPME* must report setup cost as sunk")
+	}
+	// All installed edges are reported, idle ones at rate 0.
+	if len(rates.Edges) != len(full.Edges) {
+		t.Fatalf("installed set changed: %v vs %v", rates.Edges, full.Edges)
+	}
+}
+
+func TestSolveRatesInfeasibleWhenStarved(t *testing.T) {
+	in := multiInstance(6, 1)
+	// A single arbitrary edge usually cannot cover 99.9%.
+	few := []graph.EdgeID{0}
+	if MaxAchievable(in, few) > 0.99 {
+		t.Skip("degenerate topology: one edge covers everything")
+	}
+	if _, err := SolveRates(in, few, Config{K: 0.999}); err == nil {
+		t.Fatal("want infeasibility error")
+	}
+}
+
+func TestMaxAchievable(t *testing.T) {
+	in := multiInstance(7, 2)
+	all := make([]graph.EdgeID, in.G.NumEdges())
+	for e := range all {
+		all[e] = graph.EdgeID(e)
+	}
+	if f := MaxAchievable(in, all); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("all edges achievable = %g, want 1", f)
+	}
+	if f := MaxAchievable(in, nil); f != 0 {
+		t.Fatalf("no edges achievable = %g, want 0", f)
+	}
+}
+
+// Property: PPME cost is monotone in k, and every solution is feasible.
+func TestSolveMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		in := multiInstance(seed, 2)
+		prev := 0.0
+		for _, k := range []float64{0.5, 0.75, 0.95} {
+			cfg := Config{K: k}
+			s, err := Solve(in, cfg)
+			if err != nil {
+				t.Logf("seed %d k=%g: %v", seed, k, err)
+				return false
+			}
+			checkFeasible(t, in, s, cfg)
+			if s.Cost < prev-1e-6 {
+				t.Logf("seed %d: cost dropped from %g to %g as k rose", seed, prev, s.Cost)
+				return false
+			}
+			prev = s.Cost
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a single-routed instance with unit install costs and zero
+// exploitation cost, PPME degenerates to PPM — same optimal device count
+// as the passive ILP.
+func TestPPMEDegeneratesToPPM(t *testing.T) {
+	in := multiInstance(11, 1)
+	cfg := Config{
+		K: 0.9,
+		Costs: CostModel{
+			Install: func(graph.Edge) float64 { return 1 },
+			Exploit: func(graph.Edge) float64 { return 0 },
+		},
+	}
+	s, err := Solve(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the passive exact solver on the single-routed view.
+	single := &core.Instance{G: in.G}
+	for _, mt := range in.Traffics {
+		single.Traffics = append(single.Traffics, core.Traffic{
+			ID: mt.ID, Path: mt.Routes[0].Path, Volume: mt.Routes[0].Volume,
+		})
+	}
+	// Avoid an import cycle: inline the set-cover optimum via passive's
+	// public API is fine — passive does not import sampling.
+	opt := passiveOptimum(t, single, 0.9)
+	if s.Devices() != opt {
+		t.Fatalf("PPME devices %d != PPM optimum %d", s.Devices(), opt)
+	}
+}
+
+func TestSolveRatesFlowFeasibleAndCheap(t *testing.T) {
+	in := multiInstance(31, 2)
+	installed := everyEdge(in)
+	cfg := Config{K: 0.9}
+	lpSol, err := SolveRates(in, installed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := SolveRatesFlow(in, installed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, fl, cfg)
+	// The repaired flow heuristic can cost more than the LP optimum but
+	// never outperform it.
+	if fl.ExploitCost < lpSol.ExploitCost-1e-6 {
+		t.Fatalf("flow %g beat the LP optimum %g", fl.ExploitCost, lpSol.ExploitCost)
+	}
+	// And it should stay within a reasonable factor on these instances.
+	if fl.ExploitCost > 3*lpSol.ExploitCost+1e-6 {
+		t.Fatalf("flow %g far above LP %g", fl.ExploitCost, lpSol.ExploitCost)
+	}
+}
+
+func TestSolveRatesFlowRejectsFloorsAndStarvation(t *testing.T) {
+	in := multiInstance(32, 1)
+	if _, err := SolveRatesFlow(in, everyEdge(in), Config{K: 0.9, H: mkH(len(in.Traffics), 0.5)}); err == nil {
+		t.Fatal("per-traffic floors accepted")
+	}
+	few := []graph.EdgeID{0}
+	if MaxAchievable(in, few) < 0.99 {
+		if _, err := SolveRatesFlow(in, few, Config{K: 0.999}); err == nil {
+			t.Fatal("starved install set accepted")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+)
+
+// SolveRatesFlow is the min-cost-flow formulation of PPME* the paper
+// points at in §5.4 ("it is worthy to note that this problem can be
+// expressed as a minimum cost flow problem for which efficient
+// polynomial time algorithms are available without the need of linear
+// programming anymore").
+//
+// Construction: on the MECF-style graph restricted to installed links,
+// routing one unit of flow through w_e corresponds to monitoring one
+// unit of volume there; sampling at ratio r_e monitors r_e·load(e)
+// units at exploitation cost coste(e)·r_e, i.e. coste(e)/load(e) per
+// unit — the arc cost of (S, w_e). The (w_t, T) capacities v_p prevent
+// double-counting a path beyond its volume. The flow optimum is a lower
+// bound on the LP optimum (the flow may concentrate an edge's budget on
+// its cheapest traffics, which per-edge ratios cannot), so the derived
+// ratios r_e = flow_e/load(e) are repaired upward by a binary-searched
+// uniform boost until the coverage floor holds.
+//
+// Per-traffic floors (cfg.H) are not supported by the flow model;
+// use SolveRates (the LP) when floors matter.
+func SolveRatesFlow(in *core.MultiInstance, installed []graph.EdgeID, cfg Config) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validate(in); err != nil {
+		return nil, err
+	}
+	if cfg.H != nil {
+		return nil, fmt.Errorf("sampling: SolveRatesFlow does not support per-traffic floors; use SolveRates")
+	}
+	if MaxAchievable(in, installed) < cfg.K-1e-9 {
+		return nil, fmt.Errorf("sampling: installed devices cannot reach k=%g even at full rate", cfg.K)
+	}
+	costs := cfg.Costs.withDefaults()
+	paths := in.Paths()
+	m := in.G.NumEdges()
+
+	has := make([]bool, m)
+	for _, e := range installed {
+		has[e] = true
+	}
+	// Load per installed edge over the multi-routed paths.
+	loads := make([]float64, m)
+	for _, fp := range paths {
+		for _, e := range fp.Path.Edges {
+			loads[e] += fp.Volume
+		}
+	}
+
+	// Node layout: 0 = S, 1 = T, 2..2+m-1 = w_e, then one per path.
+	net := flow.NewNetwork(2 + m + len(paths))
+	edgeArc := make([]flow.Arc, m)
+	for e := 0; e < m; e++ {
+		if !has[e] || loads[e] <= 0 {
+			continue
+		}
+		edge := in.G.Edge(graph.EdgeID(e))
+		edgeArc[e] = net.AddArc(0, 2+e, loads[e], costs.Exploit(edge)/loads[e])
+	}
+	for pi, fp := range paths {
+		net.AddArc(2+m+pi, 1, fp.Volume, 0)
+		for _, e := range fp.Path.Edges {
+			if has[e] && loads[e] > 0 {
+				net.AddArc(2+int(e), 2+m+pi, math.Inf(1), 0)
+			}
+		}
+	}
+	res := net.MinCostFlow(0, 1, cfg.K*in.TotalVolume())
+	if !res.Full {
+		return nil, fmt.Errorf("sampling: flow could only route %.3f of the target", res.Sent)
+	}
+
+	baseRates := make(map[graph.EdgeID]float64, len(installed))
+	for e := 0; e < m; e++ {
+		if !has[e] || loads[e] <= 0 {
+			continue
+		}
+		r := net.Flow(edgeArc[e]) / loads[e]
+		if r > 1 {
+			r = 1
+		}
+		baseRates[graph.EdgeID(e)] = r
+	}
+
+	// Repair: the flow's coverage accounting is optimistic for per-edge
+	// ratios; boost all rates by the smallest uniform factor restoring
+	// Σ_p min(1, Σ_{e∈p} r_e)·v_p ≥ k·V (factor 1 ≤ β ≤ 1/min-rate; at
+	// full rates the floor holds by the MaxAchievable check).
+	coverage := func(beta float64) float64 {
+		covered := 0.0
+		for _, fp := range paths {
+			share := 0.0
+			for _, e := range fp.Path.Edges {
+				r := baseRates[e] * beta
+				if has[e] && r > 1 {
+					r = 1
+				}
+				share += r
+			}
+			if share > 1 {
+				share = 1
+			}
+			covered += share * fp.Volume
+		}
+		return covered / in.TotalVolume()
+	}
+	lo, hi := 1.0, 1.0
+	for coverage(hi) < cfg.K-1e-12 && hi < 1e9 {
+		hi *= 2
+	}
+	for i := 0; i < 60 && hi-lo > 1e-12*hi; i++ {
+		mid := (lo + hi) / 2
+		if coverage(mid) >= cfg.K-1e-12 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	beta := hi
+
+	sol := &Solution{
+		Rates:      make(map[graph.EdgeID]float64, len(installed)),
+		PathShares: make([]float64, len(paths)),
+		Exact:      false, // heuristic: LP-optimal only when no repair was needed
+	}
+	sol.Edges = append([]graph.EdgeID(nil), installed...)
+	sort.Slice(sol.Edges, func(i, j int) bool { return sol.Edges[i] < sol.Edges[j] })
+	for _, e := range sol.Edges {
+		r := baseRates[e] * beta
+		if r > 1 {
+			r = 1
+		}
+		sol.Rates[e] = r
+		sol.ExploitCost += costs.Exploit(in.G.Edge(e)) * r
+	}
+	for pi, fp := range paths {
+		share := 0.0
+		for _, e := range fp.Path.Edges {
+			share += sol.Rates[e]
+		}
+		if share > 1 {
+			share = 1
+		}
+		sol.PathShares[pi] = share
+		sol.Covered += share * fp.Volume
+	}
+	sol.Fraction = sol.Covered / in.TotalVolume()
+	sol.Cost = sol.ExploitCost
+	return sol, nil
+}

@@ -1,0 +1,173 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Packet is one frame crossing a monitored link, as seen by a tap
+// device. Time is in seconds since the start of the trace.
+type Packet struct {
+	Time float64
+	// Flow identifies the flow the packet belongs to (5-tuple stand-in).
+	Flow int
+	// Bytes is the frame size.
+	Bytes int
+	// SYN marks a TCP connection-opening segment, used by the
+	// SYN-counting estimator of [5].
+	SYN bool
+}
+
+// Sampler decides, packet by packet, whether a frame is captured. The
+// four implementations are the techniques reviewed in §5.2 (after
+// Duffield [4]). Samplers are stateful and not safe for concurrent use;
+// Reset returns them to their initial state.
+type Sampler interface {
+	// Sample reports whether the packet is captured. Packets must be
+	// offered in non-decreasing Time order.
+	Sample(p Packet) bool
+	Reset()
+	// Rate returns the nominal sampling rate (fraction of packets the
+	// sampler aims to keep, 1/N for the count-based techniques).
+	Rate() float64
+	Name() string
+}
+
+// timeBased captures the first frame seen in every interval of width
+// `interval` seconds. §5.2 warns it can systematically miss flows that
+// are time-synchronized with the interval, especially on slow links.
+type timeBased struct {
+	interval float64
+	nextSlot float64
+	started  bool
+}
+
+// NewTimeBased returns a time-based sampler capturing one frame per
+// `interval` seconds.
+func NewTimeBased(interval float64) Sampler {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sampling: non-positive interval %g", interval))
+	}
+	return &timeBased{interval: interval}
+}
+
+func (s *timeBased) Sample(p Packet) bool {
+	if !s.started {
+		s.started = true
+		s.nextSlot = math.Floor(p.Time/s.interval)*s.interval + s.interval
+		return true
+	}
+	if p.Time >= s.nextSlot {
+		s.nextSlot = math.Floor(p.Time/s.interval)*s.interval + s.interval
+		return true
+	}
+	return false
+}
+
+func (s *timeBased) Reset()        { s.started = false; s.nextSlot = 0 }
+func (s *timeBased) Rate() float64 { return math.NaN() } // rate depends on packet arrival rate
+func (s *timeBased) Name() string  { return "time-based" }
+
+// regular captures exactly one frame every N frames (periodic
+// sampling). §5.2: better than time-based at catching bursts, but still
+// biased by periodic traffic.
+type regular struct {
+	n     int
+	count int
+}
+
+// NewRegular returns a 1-in-N deterministic sampler.
+func NewRegular(n int) Sampler {
+	if n < 1 {
+		panic(fmt.Sprintf("sampling: N = %d < 1", n))
+	}
+	return &regular{n: n}
+}
+
+func (s *regular) Sample(Packet) bool {
+	s.count++
+	if s.count == s.n {
+		s.count = 0
+		return true
+	}
+	return false
+}
+
+func (s *regular) Reset()        { s.count = 0 }
+func (s *regular) Rate() float64 { return 1 / float64(s.n) }
+func (s *regular) Name() string  { return "regular" }
+
+// probabilistic captures each frame independently with probability 1/N.
+type probabilistic struct {
+	p    float64
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewProbabilistic returns an independent-coin sampler with capture
+// probability 1/n; seed makes traces reproducible.
+func NewProbabilistic(n int, seed int64) Sampler {
+	if n < 1 {
+		panic(fmt.Sprintf("sampling: N = %d < 1", n))
+	}
+	return &probabilistic{p: 1 / float64(n), seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewProbabilisticRate is NewProbabilistic with an arbitrary rate in
+// [0,1] — the form the placement solutions use, where a device on link e
+// samples at the optimized ratio r_e.
+func NewProbabilisticRate(rate float64, seed int64) Sampler {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("sampling: rate %g outside [0,1]", rate))
+	}
+	return &probabilistic{p: rate, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *probabilistic) Sample(Packet) bool { return s.rng.Float64() < s.p }
+func (s *probabilistic) Reset()             { s.rng = rand.New(rand.NewSource(s.seed)) }
+func (s *probabilistic) Rate() float64      { return s.p }
+func (s *probabilistic) Name() string       { return "probabilistic" }
+
+// geometric captures one frame every X frames with X geometrically
+// distributed with mean N — the "probability distribution-based"
+// technique of §5.2.
+type geometric struct {
+	n    int
+	seed int64
+	rng  *rand.Rand
+	gap  int
+}
+
+// NewGeometric returns a distribution-based sampler with mean gap n.
+func NewGeometric(n int, seed int64) Sampler {
+	if n < 1 {
+		panic(fmt.Sprintf("sampling: N = %d < 1", n))
+	}
+	s := &geometric{n: n, seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s.gap = s.draw()
+	return s
+}
+
+func (s *geometric) draw() int {
+	// Geometric with success probability 1/n, support {1, 2, ...}.
+	p := 1 / float64(s.n)
+	u := s.rng.Float64()
+	return 1 + int(math.Log(1-u)/math.Log(1-p))
+}
+
+func (s *geometric) Sample(Packet) bool {
+	s.gap--
+	if s.gap <= 0 {
+		s.gap = s.draw()
+		return true
+	}
+	return false
+}
+
+func (s *geometric) Reset() {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.gap = s.draw()
+}
+func (s *geometric) Rate() float64 { return 1 / float64(s.n) }
+func (s *geometric) Name() string  { return "geometric" }

@@ -1,0 +1,293 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stream builds n packets at a constant 1000 pkt/s over `flows` flows,
+// round-robin.
+func stream(n, flows int) []Packet {
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = Packet{
+			Time:  float64(i) / 1000,
+			Flow:  i % flows,
+			Bytes: 1500,
+			SYN:   i < flows, // first packet of each flow is its SYN
+		}
+	}
+	return out
+}
+
+func countSampled(s Sampler, ps []Packet) int {
+	n := 0
+	for _, p := range ps {
+		if s.Sample(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRegularExactRate(t *testing.T) {
+	s := NewRegular(10)
+	got := countSampled(s, stream(1000, 4))
+	if got != 100 {
+		t.Fatalf("1-in-10 over 1000 packets captured %d, want exactly 100", got)
+	}
+	if s.Rate() != 0.1 {
+		t.Fatalf("rate = %g", s.Rate())
+	}
+}
+
+func TestRegularReset(t *testing.T) {
+	s := NewRegular(3)
+	ps := stream(7, 1)
+	a := countSampled(s, ps)
+	s.Reset()
+	b := countSampled(s, ps)
+	if a != b {
+		t.Fatalf("reset changed behaviour: %d vs %d", a, b)
+	}
+}
+
+func TestProbabilisticApproximateRate(t *testing.T) {
+	s := NewProbabilistic(10, 42)
+	got := countSampled(s, stream(100000, 4))
+	// Binomial(1e5, 0.1): mean 10000, σ≈95; allow 5σ.
+	if got < 9500 || got > 10500 {
+		t.Fatalf("probabilistic 1-in-10 captured %d of 100000", got)
+	}
+}
+
+func TestProbabilisticDeterministicPerSeed(t *testing.T) {
+	ps := stream(1000, 2)
+	a := countSampled(NewProbabilistic(7, 1), ps)
+	b := countSampled(NewProbabilistic(7, 1), ps)
+	if a != b {
+		t.Fatal("same seed, different captures")
+	}
+}
+
+func TestProbabilisticRate(t *testing.T) {
+	s := NewProbabilisticRate(0.35, 3)
+	got := countSampled(s, stream(100000, 4))
+	if math.Abs(float64(got)/100000-0.35) > 0.01 {
+		t.Fatalf("rate-0.35 sampler captured %d of 100000", got)
+	}
+	if math.Abs(s.Rate()-0.35) > 1e-12 {
+		t.Fatalf("Rate() = %g", s.Rate())
+	}
+}
+
+func TestGeometricApproximateRate(t *testing.T) {
+	s := NewGeometric(10, 42)
+	got := countSampled(s, stream(100000, 4))
+	if got < 9000 || got > 11000 {
+		t.Fatalf("geometric mean-10 captured %d of 100000", got)
+	}
+	s.Reset()
+	again := countSampled(s, stream(100000, 4))
+	if got != again {
+		t.Fatal("reset not deterministic")
+	}
+}
+
+func TestTimeBasedCapturesPerInterval(t *testing.T) {
+	s := NewTimeBased(0.01) // one capture per 10ms
+	// 1 second of packets at 1000 pkt/s → about 100 intervals.
+	got := countSampled(s, stream(1000, 4))
+	if got < 95 || got > 105 {
+		t.Fatalf("time-based captured %d, want ≈100", got)
+	}
+}
+
+func TestTimeBasedMissesSlowPeriodicFlow(t *testing.T) {
+	// §5.2's warning: a flow perfectly synchronized with the sampling
+	// interval can dominate the capture. Two flows: flow 0 sends exactly
+	// at interval starts, flow 1 sends mid-interval.
+	s := NewTimeBased(1.0)
+	var ps []Packet
+	for i := 0; i < 100; i++ {
+		ps = append(ps, Packet{Time: float64(i), Flow: 0})
+		ps = append(ps, Packet{Time: float64(i) + 0.5, Flow: 1})
+	}
+	flow0, flow1 := 0, 0
+	for _, p := range ps {
+		if s.Sample(p) {
+			if p.Flow == 0 {
+				flow0++
+			} else {
+				flow1++
+			}
+		}
+	}
+	if flow1 != 0 {
+		t.Fatalf("mid-interval flow captured %d times; expected systematic miss", flow1)
+	}
+	if flow0 < 99 {
+		t.Fatalf("interval-aligned flow captured only %d times", flow0)
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"regular 0":    func() { NewRegular(0) },
+		"prob 0":       func() { NewProbabilistic(0, 1) },
+		"prob rate":    func() { NewProbabilisticRate(1.5, 1) },
+		"geometric 0":  func() { NewGeometric(0, 1) },
+		"timebased 0":  func() { NewTimeBased(0) },
+		"timebased -1": func() { NewTimeBased(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	for _, s := range []Sampler{NewTimeBased(1), NewRegular(2), NewProbabilistic(2, 1), NewGeometric(2, 1)} {
+		if s.Name() == "" {
+			t.Fatal("empty sampler name")
+		}
+	}
+}
+
+// elephantTrace builds a trace with many mice (few packets) and a few
+// elephants (many packets), shuffled in time.
+func elephantTrace(rng *rand.Rand, mice, elephants, micePkts, elephantPkts int) ([]Packet, map[int]int) {
+	truth := make(map[int]int)
+	var ps []Packet
+	flow := 0
+	for i := 0; i < mice; i++ {
+		truth[flow] = micePkts
+		for j := 0; j < micePkts; j++ {
+			ps = append(ps, Packet{Flow: flow, SYN: j == 0})
+		}
+		flow++
+	}
+	for i := 0; i < elephants; i++ {
+		truth[flow] = elephantPkts
+		for j := 0; j < elephantPkts; j++ {
+			ps = append(ps, Packet{Flow: flow, SYN: j == 0})
+		}
+		flow++
+	}
+	rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+	for i := range ps {
+		ps[i].Time = float64(i) / 1e6
+	}
+	return ps, truth
+}
+
+func TestMiceElephantBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 1000 mice of 3 packets, 10 elephants of 5000 packets; 1-in-1000
+	// sampling as in the Metropolis study quoted in §5.2.
+	ps, truth := elephantTrace(rng, 1000, 10, 3, 5000)
+	st := CollectTrace(NewProbabilistic(1000, 7), ps)
+	rep := MeasureBias(truth, st, 1.0/1000, 1000)
+	// Most mice must be entirely missed at this rate.
+	if rep.MissedMice < 900 {
+		t.Fatalf("missed mice = %d/1000; expected the vast majority", rep.MissedMice)
+	}
+	// Elephants are large enough to be seen and classified.
+	if rep.ElephantRecall < 0.8 {
+		t.Fatalf("elephant recall = %g", rep.ElephantRecall)
+	}
+	if rep.TrueFlows != 1010 || rep.SeenFlows >= rep.TrueFlows {
+		t.Fatalf("flows: true %d seen %d", rep.TrueFlows, rep.SeenFlows)
+	}
+}
+
+func TestSYNFlowCountEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps, truth := elephantTrace(rng, 200, 5, 40, 2000)
+	rate := 1.0 / 50
+	st := CollectTrace(NewProbabilistic(50, 3), ps)
+	est := EstimateFlowCountSYN(st, rate)
+	want := float64(len(truth))
+	// SYN sampling is binomial with n=205, p=1/50 → mean ≈4.1 flows'
+	// SYNs seen; scaled estimate is unbiased but noisy. Accept ±75%.
+	if est < want*0.25 || est > want*1.75 {
+		t.Fatalf("SYN estimate %g for %g true flows", est, want)
+	}
+	if EstimateFlowCountSYN(st, 0) != 0 {
+		t.Fatal("zero rate must estimate 0")
+	}
+}
+
+func TestEstimateFlowSizesUnbiasedOnElephants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ps, truth := elephantTrace(rng, 0, 5, 0, 10000)
+	rate := 1.0 / 100
+	st := CollectTrace(NewProbabilistic(100, 13), ps)
+	est := EstimateFlowSizes(st, rate)
+	for f, true_ := range truth {
+		if e := est[f]; math.Abs(e-float64(true_)) > 0.35*float64(true_) {
+			t.Fatalf("flow %d: estimate %g vs true %d", f, e, true_)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	c := Classify(map[int]float64{1: 5, 2: 500, 3: 40}, 100)
+	if len(c.Elephants) != 1 || c.Elephants[0] != 2 {
+		t.Fatalf("elephants = %v", c.Elephants)
+	}
+	if len(c.Mice) != 2 {
+		t.Fatalf("mice = %v", c.Mice)
+	}
+}
+
+func TestElephantPosterior(t *testing.T) {
+	// Prior: flows are size 10 (90%) or size 1000 (10%). Seeing 5
+	// sampled packets at rate 1/100 is essentially impossible for a
+	// size-10 flow → posterior of being ≥500 must be ≈1.
+	prior := map[int]float64{10: 0.9, 1000: 0.1}
+	p := ElephantPosterior(prior, 5, 0.01, 500)
+	if p < 0.99 {
+		t.Fatalf("posterior = %g, want ≈1", p)
+	}
+	// Seeing 0 packets leans strongly towards the small flow.
+	p0 := ElephantPosterior(prior, 0, 0.01, 500)
+	if p0 > 0.2 {
+		t.Fatalf("posterior with no samples = %g, want small", p0)
+	}
+	// Degenerate inputs.
+	if ElephantPosterior(prior, 3, 0, 500) != 0 {
+		t.Fatal("rate 0 must give 0")
+	}
+	if ElephantPosterior(map[int]float64{}, 3, 0.5, 10) != 0 {
+		t.Fatal("empty prior must give 0")
+	}
+}
+
+func TestBinomialPMF(t *testing.T) {
+	// Exhaustive check against direct computation for small n.
+	for n := 0; n <= 12; n++ {
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += binomialPMF(n, k, 0.3)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("PMF over n=%d sums to %g", n, sum)
+		}
+	}
+	if binomialPMF(5, 6, 0.5) != 0 || binomialPMF(5, -1, 0.5) != 0 {
+		t.Fatal("out-of-range k must give 0")
+	}
+	if binomialPMF(4, 4, 1) != 1 || binomialPMF(4, 0, 0) != 1 {
+		t.Fatal("degenerate rates wrong")
+	}
+	if binomialPMF(4, 2, 1) != 0 || binomialPMF(4, 2, 0) != 0 {
+		t.Fatal("degenerate rates wrong for partial k")
+	}
+}

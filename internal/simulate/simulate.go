@@ -1,0 +1,191 @@
+// Package simulate validates placements at packet level: it synthesizes
+// packet streams for every traffic of an instance, replays them across
+// the POP, applies the tap devices' sampling decisions on every
+// monitored link, and measures the coverage the deployment actually
+// achieves.
+//
+// The paper's objective Σ δ_p·v_p promises a monitored volume; this
+// package checks the promise against two capture disciplines discussed
+// in §5.2:
+//
+//   - Marked: devices coordinate through packet marking, so a packet
+//     captured upstream is not re-captured downstream and the capture
+//     probability along a path is min(1, Σ r_e) — exactly the δ_p of
+//     Linear program 3.
+//   - Independent: devices sample independently (capture probability
+//     1 − Π(1 − r_e)); as [22] assumes, a flow is counted once however
+//     many devices capture it, so achieved coverage can fall below the
+//     marked-mode promise.
+//
+// The replay substitutes for the operational tap hardware (DAG cards,
+// splitters) the paper's platform would use — see DESIGN.md §4.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Discipline selects how multiple devices on one path interact.
+type Discipline int
+
+const (
+	// Marked models packet-marking coordination: capture probability
+	// along a path is min(1, Σ r_e).
+	Marked Discipline = iota
+	// Independent models uncoordinated devices: capture probability is
+	// 1 − Π(1 − r_e).
+	Independent
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case Marked:
+		return "marked"
+	case Independent:
+		return "independent"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}
+
+// Options parameterizes a replay.
+type Options struct {
+	// PacketsPerUnit converts traffic volume into a packet count
+	// (default 100). Higher = tighter statistics, slower replay.
+	PacketsPerUnit float64
+	// Discipline selects the capture model (default Marked).
+	Discipline Discipline
+	// Seed drives all sampling decisions.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PacketsPerUnit == 0 {
+		o.PacketsPerUnit = 100
+	}
+	return o
+}
+
+// Result reports a replay.
+type Result struct {
+	// TotalPackets is the number of packets injected.
+	TotalPackets int
+	// CapturedPackets is the number of distinct packets captured by at
+	// least one device.
+	CapturedPackets int
+	// CapturedVolume converts captured packets back into volume units.
+	CapturedVolume float64
+	// Fraction is CapturedVolume over the instance volume — to compare
+	// against the solver's promised coverage.
+	Fraction float64
+	// PerEdgeCaptures counts capture events per equipped link (in
+	// Independent mode a packet can be captured on several links; each
+	// counts here, while CapturedPackets counts it once).
+	PerEdgeCaptures map[graph.EdgeID]int
+	// PerTrafficFraction is the achieved monitored share per traffic.
+	PerTrafficFraction []float64
+}
+
+// Run replays a multi-routed instance against the given sampling rates
+// (absent edges carry no device, rate 0).
+func Run(in *core.MultiInstance, rates map[graph.EdgeID]float64, opt Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	for e, r := range rates {
+		if r < 0 || r > 1 {
+			return Result{}, fmt.Errorf("simulate: rate[%d] = %g outside [0,1]", e, r)
+		}
+	}
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := Result{
+		PerEdgeCaptures:    make(map[graph.EdgeID]int),
+		PerTrafficFraction: make([]float64, len(in.Traffics)),
+	}
+	unitPerPacket := 1 / opt.PacketsPerUnit
+
+	for ti, t := range in.Traffics {
+		capturedVol := 0.0
+		for _, route := range t.Routes {
+			n := int(route.Volume*opt.PacketsPerUnit + 0.5)
+			if n == 0 && route.Volume > 0 {
+				n = 1
+			}
+			// Devices present on this route.
+			var devEdges []graph.EdgeID
+			var devRates []float64
+			for _, e := range route.Path.Edges {
+				if r := rates[e]; r > 0 {
+					devEdges = append(devEdges, e)
+					devRates = append(devRates, r)
+				}
+			}
+			for p := 0; p < n; p++ {
+				res.TotalPackets++
+				captured := false
+				switch opt.Discipline {
+				case Marked:
+					// One uniform draw; device i owns the sub-interval
+					// [Σ_{j<i} r_j, Σ_{j≤i} r_j) of [0,1).
+					u := rng.Float64()
+					acc := 0.0
+					for i, r := range devRates {
+						if u >= acc && u < acc+r {
+							captured = true
+							res.PerEdgeCaptures[devEdges[i]]++
+							break
+						}
+						acc += r
+					}
+				case Independent:
+					for i, r := range devRates {
+						if rng.Float64() < r {
+							res.PerEdgeCaptures[devEdges[i]]++
+							captured = true
+						}
+					}
+				default:
+					return Result{}, fmt.Errorf("simulate: unknown discipline %v", opt.Discipline)
+				}
+				if captured {
+					res.CapturedPackets++
+					capturedVol += unitPerPacket
+				}
+			}
+		}
+		if v := t.Volume(); v > 0 {
+			res.PerTrafficFraction[ti] = capturedVol / v
+		}
+		res.CapturedVolume += capturedVol
+	}
+	if tv := in.TotalVolume(); tv > 0 {
+		res.Fraction = res.CapturedVolume / tv
+	}
+	return res, nil
+}
+
+// PromisedFraction computes the coverage Linear program 3's semantics
+// promise for the given rates: Σ_p min(1, Σ_{e∈p} r_e)·v_p / V.
+func PromisedFraction(in *core.MultiInstance, rates map[graph.EdgeID]float64) float64 {
+	covered := 0.0
+	for _, fp := range in.Paths() {
+		sum := 0.0
+		for _, e := range fp.Path.Edges {
+			sum += rates[e]
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		covered += sum * fp.Volume
+	}
+	tv := in.TotalVolume()
+	if tv == 0 {
+		return 0
+	}
+	return covered / tv
+}

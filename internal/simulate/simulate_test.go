@@ -1,0 +1,227 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func testInstance(seed int64) *core.MultiInstance {
+	cfg := topology.Config{Routers: 5, InterRouterLinks: 8, Endpoints: 5, Seed: seed}
+	pop := topology.Generate(cfg)
+	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+	mi, err := traffic.RouteMulti(pop, demands, 2)
+	if err != nil {
+		panic(err)
+	}
+	return mi
+}
+
+func fullRates(in *core.MultiInstance) map[graph.EdgeID]float64 {
+	r := make(map[graph.EdgeID]float64)
+	for e := 0; e < in.G.NumEdges(); e++ {
+		r[graph.EdgeID(e)] = 1
+	}
+	return r
+}
+
+func TestRunFullRateCapturesEverything(t *testing.T) {
+	in := testInstance(1)
+	res, err := Run(in, fullRates(in), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapturedPackets != res.TotalPackets {
+		t.Fatalf("full-rate capture %d of %d packets", res.CapturedPackets, res.TotalPackets)
+	}
+	if math.Abs(res.Fraction-1) > 0.02 {
+		t.Fatalf("full-rate fraction %g, want ≈1", res.Fraction)
+	}
+}
+
+func TestRunNoDevicesCapturesNothing(t *testing.T) {
+	in := testInstance(2)
+	res, err := Run(in, nil, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapturedPackets != 0 || res.Fraction != 0 {
+		t.Fatalf("captured %d packets with no devices", res.CapturedPackets)
+	}
+}
+
+func TestRunRejectsBadRates(t *testing.T) {
+	in := testInstance(3)
+	if _, err := Run(in, map[graph.EdgeID]float64{0: 1.5}, Options{}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := Run(in, map[graph.EdgeID]float64{0: -0.1}, Options{}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+// The central validation: a PPME* solution's promised coverage is
+// achieved by the marked-discipline replay within statistical noise.
+func TestMarkedReplayMatchesPromise(t *testing.T) {
+	in := testInstance(4)
+	installed := make([]graph.EdgeID, 0, in.G.NumEdges())
+	for e := 0; e < in.G.NumEdges(); e++ {
+		installed = append(installed, graph.EdgeID(e))
+	}
+	sol, err := sampling.SolveRates(in, installed, sampling.Config{K: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	promise := PromisedFraction(in, sol.Rates)
+	if promise < 0.9-1e-6 {
+		t.Fatalf("promise %g below k", promise)
+	}
+	res, err := Run(in, sol.Rates, Options{Seed: 4, PacketsPerUnit: 200, Discipline: Marked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fraction-promise) > 0.02 {
+		t.Fatalf("marked replay %g vs promise %g", res.Fraction, promise)
+	}
+}
+
+func TestIndependentNeverBeatsMarkedPromise(t *testing.T) {
+	in := testInstance(5)
+	installed := make([]graph.EdgeID, 0, in.G.NumEdges())
+	for e := 0; e < in.G.NumEdges(); e++ {
+		installed = append(installed, graph.EdgeID(e))
+	}
+	sol, err := sampling.SolveRates(in, installed, sampling.Config{K: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	promise := PromisedFraction(in, sol.Rates)
+	res, err := Run(in, sol.Rates, Options{Seed: 5, PacketsPerUnit: 200, Discipline: Independent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fraction > promise+0.02 {
+		t.Fatalf("independent replay %g exceeds marked promise %g", res.Fraction, promise)
+	}
+}
+
+func TestPerEdgeCapturesConsistent(t *testing.T) {
+	in := testInstance(6)
+	rates := map[graph.EdgeID]float64{0: 0.5, 1: 0.5}
+	res, err := Run(in, rates, Options{Seed: 6, Discipline: Marked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for e, n := range res.PerEdgeCaptures {
+		if rates[e] == 0 {
+			t.Fatalf("capture on unequipped edge %d", e)
+		}
+		sum += n
+	}
+	// In marked mode every captured packet is captured exactly once.
+	if sum != res.CapturedPackets {
+		t.Fatalf("per-edge sum %d != captured %d in marked mode", sum, res.CapturedPackets)
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if Marked.String() != "marked" || Independent.String() != "independent" {
+		t.Fatal("discipline strings wrong")
+	}
+	if Discipline(7).String() == "" {
+		t.Fatal("unknown discipline empty")
+	}
+}
+
+// Property: for any sub-unit uniform rate, marked replay fraction tracks
+// the analytic promise.
+func TestMarkedTracksPromiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := testInstance(seed)
+		r := 0.2 + 0.6*float64(uint64(seed)%5)/5
+		rates := make(map[graph.EdgeID]float64)
+		for e := 0; e < in.G.NumEdges(); e++ {
+			rates[graph.EdgeID(e)] = r
+		}
+		promise := PromisedFraction(in, rates)
+		res, err := Run(in, rates, Options{Seed: seed, PacketsPerUnit: 50, Discipline: Marked})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if math.Abs(res.Fraction-promise) > 0.05 {
+			t.Logf("seed %d: replay %g promise %g", seed, res.Fraction, promise)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	ps, truth, err := GenerateTrace(TraceConfig{Mice: 50, Elephants: 3, MicePackets: 4, ElephantPackets: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 53 {
+		t.Fatalf("flows = %d, want 53", len(truth))
+	}
+	total := 0
+	syn := 0
+	for _, p := range ps {
+		if p.SYN {
+			syn++
+		}
+		total++
+	}
+	if syn != 53 {
+		t.Fatalf("SYNs = %d, want one per flow", syn)
+	}
+	sum := 0
+	for _, n := range truth {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("truth sums to %d, trace has %d packets", sum, total)
+	}
+	// Timestamps must be non-decreasing.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Time < ps[i-1].Time {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	if _, _, err := GenerateTrace(TraceConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, _, err := GenerateTrace(TraceConfig{Mice: 1, MicePackets: 0}); err == nil {
+		t.Fatal("zero mice packets accepted")
+	}
+	if _, _, err := GenerateTrace(TraceConfig{Elephants: 1, ElephantPackets: -2}); err == nil {
+		t.Fatal("negative elephant packets accepted")
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	a, _, _ := GenerateTrace(TraceConfig{Mice: 10, Elephants: 2, MicePackets: 3, ElephantPackets: 50, Seed: 9})
+	b, _, _ := GenerateTrace(TraceConfig{Mice: 10, Elephants: 2, MicePackets: 3, ElephantPackets: 50, Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}

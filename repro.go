@@ -1,0 +1,302 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Chaudet, Fleury, Guérin Lassous, Rivano, Voge —
+//	"Optimal Positioning of Active and Passive Monitoring Devices",
+//	CoNEXT 2005.
+//
+// It covers the complete system of the paper: the Partial Passive
+// Monitoring problem PPM(k) with greedy, flow-based and exact MIP
+// solvers (§4), sampling-capable devices with the PPME(h,k) MILP, the
+// polynomial PPME* rate re-optimization and the dynamic-traffic
+// controller (§5), active monitoring with probe computation and beacon
+// placement (§6), plus all substrates: POP topology and traffic
+// generation, a simplex LP solver, branch-and-bound MIP, min-cost flow,
+// set-cover algorithms and a packet-level validation simulator.
+//
+// This package is the public facade: it re-exports the domain types and
+// wraps the solvers behind small functions, so applications only import
+// "repro". The examples/ directory shows complete programs; DESIGN.md
+// maps every paper section and figure to the implementing module.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/active"
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/passive"
+	"repro/internal/sampling"
+	"repro/internal/simulate"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Aliases re-exporting the domain model, so the facade is the only
+// import applications need.
+type (
+	// Graph is the POP graph G = (V, E) of §4.1.
+	Graph = graph.Graph
+	// NodeID and EdgeID identify routers and links.
+	NodeID = graph.NodeID
+	EdgeID = graph.EdgeID
+	// Path is a routed path through the POP.
+	Path = graph.Path
+
+	// POP is a generated point of presence (backbone routers, access
+	// routers, virtual traffic endpoints — §2, Figure 2).
+	POP = topology.POP
+	// POPConfig parameterizes POP generation.
+	POPConfig = topology.Config
+
+	// Demand is an un-routed traffic request; Traffic and MultiTraffic
+	// are its single- and multi-routed forms.
+	Demand       = traffic.Demand
+	Traffic      = core.Traffic
+	MultiTraffic = core.MultiTraffic
+	// TrafficConfig parameterizes demand generation (§4.4: non-uniform
+	// volumes with preferred pairs).
+	TrafficConfig = traffic.Config
+
+	// Instance is a single-routed PPM(k) instance; MultiInstance the
+	// multi-routed §5 variant.
+	Instance      = core.Instance
+	MultiInstance = core.MultiInstance
+
+	// TapPlacement is a passive-monitoring solution (§4).
+	TapPlacement = passive.Placement
+	// ILPOptions configures the exact MIP solver (formulation choice,
+	// incremental placement, device budget).
+	ILPOptions = passive.ILPOptions
+
+	// SamplingConfig and SamplingSolution are the §5 PPME types;
+	// RateController implements the §5.4 adaptation loop; CostModel
+	// carries costi/coste.
+	SamplingConfig   = sampling.Config
+	SamplingSolution = sampling.Solution
+	RateController   = sampling.Controller
+	CostModel        = sampling.CostModel
+
+	// Sampler and Packet are the §5.2 sampling techniques' interface.
+	Sampler = sampling.Sampler
+	Packet  = sampling.Packet
+
+	// ProbeSet and BeaconPlacement are the §6 active-monitoring types.
+	ProbeSet        = active.ProbeSet
+	Probe           = active.Probe
+	BeaconPlacement = active.Placement
+
+	// ReplayOptions and ReplayResult drive the packet-level validation
+	// simulator.
+	ReplayOptions = simulate.Options
+	ReplayResult  = simulate.Result
+)
+
+// Paper-instance presets (router/link/traffic counts matching §4.4 and
+// §6.2).
+var (
+	Paper10 = topology.Paper10
+	Paper15 = topology.Paper15
+	Paper29 = topology.Paper29
+	Paper80 = topology.Paper80
+)
+
+// GeneratePOP builds a two-level POP topology (§2).
+func GeneratePOP(cfg POPConfig) *POP { return topology.Generate(cfg) }
+
+// GenerateDemands draws one demand per ordered endpoint pair with
+// non-uniform volumes (§4.4).
+func GenerateDemands(pop *POP, cfg TrafficConfig) []Demand { return traffic.Demands(pop, cfg) }
+
+// RouteSingle routes demands on shortest paths into a PPM instance.
+func RouteSingle(pop *POP, demands []Demand) (*Instance, error) { return traffic.Route(pop, demands) }
+
+// RouteMulti routes demands over up to maxRoutes load-balanced shortest
+// routes into a §5 multi-routed instance.
+func RouteMulti(pop *POP, demands []Demand, maxRoutes int) (*MultiInstance, error) {
+	return traffic.RouteMulti(pop, demands, maxRoutes)
+}
+
+// TapMethod selects a PPM(k) algorithm.
+type TapMethod int
+
+const (
+	// TapGreedyLoad is the §4.3 baseline greedy (most loaded link
+	// first) — the "Greedy algorithm" curve of Figures 7 and 8.
+	TapGreedyLoad TapMethod = iota
+	// TapGreedyGain is the marginal-gain set-cover greedy.
+	TapGreedyGain
+	// TapFlow is the Minimum Edge Cost Flow linear-relaxation heuristic.
+	TapFlow
+	// TapILP is the exact MIP (Linear program 2) — the "ILP" curve.
+	TapILP
+	// TapExact is the exact combinatorial branch-and-bound via the
+	// Theorem 1 set-cover view; same optima as TapILP, faster on large
+	// instances.
+	TapExact
+)
+
+func (m TapMethod) String() string {
+	switch m {
+	case TapGreedyLoad:
+		return "greedy-load"
+	case TapGreedyGain:
+		return "greedy-gain"
+	case TapFlow:
+		return "flow-heuristic"
+	case TapILP:
+		return "ilp"
+	case TapExact:
+		return "exact"
+	}
+	return fmt.Sprintf("TapMethod(%d)", int(m))
+}
+
+// PlaceTaps solves PPM(k): select links for tap devices so traffics
+// carrying at least fraction k of the volume cross a tapped link.
+func PlaceTaps(in *Instance, k float64, method TapMethod) (TapPlacement, error) {
+	switch method {
+	case TapGreedyLoad:
+		return passive.GreedyLoad(in, k), nil
+	case TapGreedyGain:
+		return passive.GreedyGain(in, k), nil
+	case TapFlow:
+		return passive.FlowHeuristic(in, k), nil
+	case TapILP:
+		return passive.SolveILP(in, k, ILPOptions{})
+	case TapExact:
+		return passive.ExactCover(in, k, cover.ExactOptions{}), nil
+	}
+	return TapPlacement{}, fmt.Errorf("repro: unknown tap method %d", method)
+}
+
+// PlaceTapsILP exposes the full MIP options: formulation choice,
+// incremental placement over installed devices, and device budgets
+// (§4.3).
+func PlaceTapsILP(in *Instance, k float64, opts ILPOptions) (TapPlacement, error) {
+	return passive.SolveILP(in, k, opts)
+}
+
+// MaxCoverage places at most budget devices (plus installed ones) to
+// maximize monitored volume — the paper's expected-gain question.
+func MaxCoverage(in *Instance, budget int, installed []EdgeID) (TapPlacement, error) {
+	return passive.MaxCoverage(in, budget, installed)
+}
+
+// PlaceSamplers solves PPME(h,k) (Linear program 3): device placement
+// plus sampling ratios minimizing setup + exploitation cost (§5.3).
+func PlaceSamplers(in *MultiInstance, cfg SamplingConfig) (*SamplingSolution, error) {
+	return sampling.Solve(in, cfg)
+}
+
+// ReoptimizeRates solves PPME*(x,h,k): placement frozen, rates
+// re-optimized in polynomial time (§5.4).
+func ReoptimizeRates(in *MultiInstance, installed []EdgeID, cfg SamplingConfig) (*SamplingSolution, error) {
+	return sampling.SolveRates(in, installed, cfg)
+}
+
+// NewRateController builds the §5.4 threshold controller (wait below
+// threshold T, recompute PPME* on crossing).
+func NewRateController(in *MultiInstance, installed []EdgeID, cfg SamplingConfig, threshold float64) (*RateController, error) {
+	return sampling.NewController(in, installed, cfg, threshold)
+}
+
+// Samplers (§5.2). N is the sampling period (rate 1/N).
+func NewTimeBasedSampler(interval float64) Sampler { return sampling.NewTimeBased(interval) }
+
+// NewRegularSampler samples exactly one frame in every N.
+func NewRegularSampler(n int) Sampler { return sampling.NewRegular(n) }
+
+// NewProbabilisticSampler samples each frame with probability 1/N.
+func NewProbabilisticSampler(n int, seed int64) Sampler { return sampling.NewProbabilistic(n, seed) }
+
+// NewGeometricSampler samples one frame every X, X geometric with mean N.
+func NewGeometricSampler(n int, seed int64) Sampler { return sampling.NewGeometric(n, seed) }
+
+// ComputeProbes builds the probe set Φ covering every link from the
+// candidate beacons V_B (first phase of [15], §6.1).
+func ComputeProbes(g *Graph, candidates []NodeID) (ProbeSet, error) {
+	return active.ComputeProbes(g, candidates)
+}
+
+// BeaconMethod selects a beacon-placement algorithm (§6).
+type BeaconMethod int
+
+const (
+	// BeaconThiran is the arbitrary-order heuristic of [15].
+	BeaconThiran BeaconMethod = iota
+	// BeaconGreedy is the paper's improved most-probes-first greedy.
+	BeaconGreedy
+	// BeaconILP is the exact 0–1 integer program of §6.1.
+	BeaconILP
+)
+
+func (m BeaconMethod) String() string {
+	switch m {
+	case BeaconThiran:
+		return "thiran"
+	case BeaconGreedy:
+		return "greedy"
+	case BeaconILP:
+		return "ilp"
+	}
+	return fmt.Sprintf("BeaconMethod(%d)", int(m))
+}
+
+// PlaceBeacons chooses beacons so every probe of the set has a beacon
+// extremity.
+func PlaceBeacons(ps ProbeSet, method BeaconMethod) (BeaconPlacement, error) {
+	switch method {
+	case BeaconThiran:
+		return active.PlaceThiran(ps)
+	case BeaconGreedy:
+		return active.PlaceGreedy(ps)
+	case BeaconILP:
+		return active.PlaceILP(ps)
+	}
+	return BeaconPlacement{}, fmt.Errorf("repro: unknown beacon method %d", method)
+}
+
+// Replay validates a deployment at packet level: synthetic packets flow
+// along every route, devices sample at their assigned rates, and the
+// achieved coverage is measured.
+func Replay(in *MultiInstance, rates map[EdgeID]float64, opt ReplayOptions) (ReplayResult, error) {
+	return simulate.Run(in, rates, opt)
+}
+
+// PlaceTapsRounding runs the §4.3 randomized-rounding heuristic: round
+// the LP-relaxation of Linear program 2 with boosted probabilities until
+// the coverage target holds, then prune.
+func PlaceTapsRounding(in *Instance, k float64, seed int64) (TapPlacement, error) {
+	return passive.RandomizedRounding(in, k, seed)
+}
+
+// ReoptimizeRatesFlow is the §5.4 min-cost-flow formulation of PPME*
+// (no LP involved); it does not support per-traffic floors.
+func ReoptimizeRatesFlow(in *MultiInstance, installed []EdgeID, cfg SamplingConfig) (*SamplingSolution, error) {
+	return sampling.SolveRatesFlow(in, installed, cfg)
+}
+
+// BalanceBeaconLoad redistributes probe sending among the placed
+// beacons to minimize the maximum per-beacon message count (§6's
+// generated-messages objective).
+func BalanceBeaconLoad(ps ProbeSet, pl BeaconPlacement) (BeaconPlacement, error) {
+	return active.BalanceSenders(ps, pl)
+}
+
+// RoutingCampaign implements the §7 measurement-campaign outlook: with
+// devices and rates fixed, steer every traffic onto its best-monitored
+// candidate route. It returns the re-routed instance and the coverage
+// before and after.
+func RoutingCampaign(in *MultiInstance, rates map[EdgeID]float64) (*MultiInstance, float64, float64) {
+	before, _ := sampling.CampaignGain(in, rates)
+	out, after := sampling.Campaign(in, rates)
+	return out, before, after
+}
+
+// PromisedCoverage is the analytic coverage Σ min(1, Σ_{e∈p} r_e)·v_p/V
+// that Replay's marked discipline should reproduce.
+func PromisedCoverage(in *MultiInstance, rates map[EdgeID]float64) float64 {
+	return simulate.PromisedFraction(in, rates)
+}

@@ -1,0 +1,236 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole pipeline through the public API:
+// generate a POP, route traffic, place taps all five ways, place
+// sampling devices, re-optimize rates, place beacons all three ways,
+// and validate by packet replay.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := POPConfig{Routers: 6, InterRouterLinks: 10, Endpoints: 6, Seed: 7}
+	pop := GeneratePOP(cfg)
+	demands := GenerateDemands(pop, TrafficConfig{Seed: 7})
+	in, err := RouteSingle(pop, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var optimal int
+	for _, m := range []TapMethod{TapGreedyLoad, TapGreedyGain, TapFlow, TapILP, TapExact} {
+		pl, err := PlaceTaps(in, 0.9, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if pl.Fraction < 0.9-1e-9 {
+			t.Fatalf("%v: coverage %g < 0.9", m, pl.Fraction)
+		}
+		if m == TapILP {
+			optimal = pl.Devices()
+		}
+		if m == TapExact && pl.Devices() != optimal {
+			t.Fatalf("exact %d != ilp %d", pl.Devices(), optimal)
+		}
+	}
+
+	mi, err := RouteMulti(pop, demands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := PlaceSamplers(mi, SamplingConfig{K: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReoptimizeRates(mi, sol.Edges, SamplingConfig{K: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Fraction < 0.85-1e-6 {
+		t.Fatalf("re-optimized coverage %g", re.Fraction)
+	}
+
+	ctl, err := NewRateController(mi, sol.Edges, SamplingConfig{K: 0.85}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := ctl.Observe(mi); err != nil || rec {
+		t.Fatalf("controller recomputed on unchanged traffic (err=%v)", err)
+	}
+
+	promise := PromisedCoverage(mi, re.Rates)
+	res, err := Replay(mi, re.Rates, ReplayOptions{Seed: 7, PacketsPerUnit: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fraction-promise) > 0.03 {
+		t.Fatalf("replay %g vs promise %g", res.Fraction, promise)
+	}
+
+	var cands []NodeID
+	for n := 0; n < pop.G.NumNodes(); n++ {
+		if pop.IsRouter(NodeID(n)) {
+			cands = append(cands, NodeID(n))
+		}
+	}
+	ps, err := ComputeProbes(pop.G, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ilpN int
+	for _, m := range []BeaconMethod{BeaconThiran, BeaconGreedy, BeaconILP} {
+		pl, err := PlaceBeacons(ps, m)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if err := pl.Validate(ps); err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if m == BeaconILP {
+			ilpN = pl.Devices()
+		}
+	}
+	gr, _ := PlaceBeacons(ps, BeaconGreedy)
+	if ilpN > gr.Devices() {
+		t.Fatalf("ilp %d worse than greedy %d", ilpN, gr.Devices())
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	if TapGreedyLoad.String() == "" || TapILP.String() != "ilp" || TapMethod(42).String() == "" {
+		t.Fatal("tap method strings")
+	}
+	if BeaconThiran.String() != "thiran" || BeaconMethod(42).String() == "" {
+		t.Fatal("beacon method strings")
+	}
+}
+
+func TestUnknownMethodsError(t *testing.T) {
+	pop := GeneratePOP(POPConfig{Routers: 4, InterRouterLinks: 5, Endpoints: 3, Seed: 1})
+	in, err := RouteSingle(pop, GenerateDemands(pop, TrafficConfig{Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceTaps(in, 0.9, TapMethod(99)); err == nil {
+		t.Fatal("unknown tap method accepted")
+	}
+	ps, err := ComputeProbes(pop.G, []NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlaceBeacons(ps, BeaconMethod(99)); err == nil {
+		t.Fatal("unknown beacon method accepted")
+	}
+}
+
+func TestIncrementalAndBudgetThroughFacade(t *testing.T) {
+	pop := GeneratePOP(POPConfig{Routers: 5, InterRouterLinks: 8, Endpoints: 5, Seed: 3})
+	in, err := RouteSingle(pop, GenerateDemands(pop, TrafficConfig{Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PlaceTaps(in, 0.9, TapILP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := PlaceTapsILP(in, 0.9, ILPOptions{Installed: base.Edges[:1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Devices() < base.Devices() {
+		t.Fatal("incremental beat the optimum")
+	}
+	mc, err := MaxCoverage(in, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Devices() > 2 {
+		t.Fatalf("max-coverage used %d devices with budget 2", mc.Devices())
+	}
+}
+
+func TestSamplerConstructors(t *testing.T) {
+	for _, s := range []Sampler{
+		NewTimeBasedSampler(0.5),
+		NewRegularSampler(10),
+		NewProbabilisticSampler(10, 1),
+		NewGeometricSampler(10, 1),
+	} {
+		s.Sample(Packet{})
+		s.Reset()
+		if s.Name() == "" {
+			t.Fatal("unnamed sampler")
+		}
+	}
+}
+
+func TestRoutingCampaignThroughFacade(t *testing.T) {
+	pop := GeneratePOP(POPConfig{Routers: 6, InterRouterLinks: 10, Endpoints: 6, Seed: 11})
+	mi, err := RouteMulti(pop, GenerateDemands(pop, TrafficConfig{Seed: 11}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := PlaceSamplers(mi, SamplingConfig{K: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerouted, before, after := RoutingCampaign(mi, sol.Rates)
+	if err := rerouted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if after < before-1e-9 {
+		t.Fatalf("campaign lowered coverage %g -> %g", before, after)
+	}
+	if before < 0.8-1e-6 {
+		t.Fatalf("solved coverage %g below k", before)
+	}
+}
+
+func TestNewFacadeFunctions(t *testing.T) {
+	pop := GeneratePOP(POPConfig{Routers: 6, InterRouterLinks: 10, Endpoints: 6, Seed: 13})
+	demands := GenerateDemands(pop, TrafficConfig{Seed: 13})
+	in, err := RouteSingle(pop, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := PlaceTapsRounding(in, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Fraction < 0.9-1e-9 {
+		t.Fatalf("rounding coverage %g", rr.Fraction)
+	}
+	mi, err := RouteMulti(pop, demands, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]EdgeID, mi.G.NumEdges())
+	for e := range all {
+		all[e] = EdgeID(e)
+	}
+	fl, err := ReoptimizeRatesFlow(mi, all, SamplingConfig{K: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Fraction < 0.85-1e-6 {
+		t.Fatalf("flow rates coverage %g", fl.Fraction)
+	}
+	var cands []NodeID
+	for n := 0; n < pop.G.NumNodes(); n++ {
+		if pop.IsRouter(NodeID(n)) {
+			cands = append(cands, NodeID(n))
+		}
+	}
+	ps, err := ComputeProbes(pop.G, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := PlaceBeacons(ps, BeaconGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BalanceBeaconLoad(ps, pl); err != nil {
+		t.Fatal(err)
+	}
+}
