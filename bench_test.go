@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -35,14 +36,14 @@ func BenchmarkFig6TrafficWeights(b *testing.B) {
 
 func BenchmarkFig7Passive10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.Fig7(benchSeeds)
+		s := experiments.Fig7(context.Background(), benchSeeds)
 		sanityPassive(b, s)
 	}
 }
 
 func BenchmarkFig8Passive15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		s := experiments.Fig8(1) // the heavy instance: one seed per iteration
+		s := experiments.Fig8(context.Background(), 1) // the heavy instance: one seed per iteration
 		sanityPassive(b, s)
 	}
 }
@@ -62,19 +63,19 @@ func sanityPassive(b *testing.B, s interface {
 
 func BenchmarkFig9Beacons15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sanityBeacons(b, experiments.Fig9(benchSeeds), 15)
+		sanityBeacons(b, experiments.Fig9(context.Background(), benchSeeds), 15)
 	}
 }
 
 func BenchmarkFig10Beacons29(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sanityBeacons(b, experiments.Fig10(benchSeeds), 29)
+		sanityBeacons(b, experiments.Fig10(context.Background(), benchSeeds), 29)
 	}
 }
 
 func BenchmarkFig11Beacons80(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sanityBeacons(b, experiments.Fig11(1), 80)
+		sanityBeacons(b, experiments.Fig11(context.Background(), 1), 80)
 	}
 }
 
@@ -93,13 +94,13 @@ func sanityBeacons(b *testing.B, s interface {
 
 func BenchmarkPPMECost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = experiments.PPMECost(1)
+		_ = experiments.PPMECost(context.Background(), 1)
 	}
 }
 
 func BenchmarkPPMEStarDynamic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Dynamic(int64(i), 10, 0.4)
+		res, err := experiments.Dynamic(context.Background(), int64(i), 10, 0.4)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func BenchmarkIncrementalPlacement(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := passive.SolveILP(in, 0.95, passive.ILPOptions{Installed: installed}); err != nil {
+		if _, err := passive.SolveILP(context.Background(), in, 0.95, passive.ILPOptions{Installed: installed}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func BenchmarkBudgetedPlacement(b *testing.B) {
 	in := fig7Instance(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := passive.MaxCoverage(in, 5, nil); err != nil {
+		if _, err := passive.MaxCoverage(context.Background(), in, 5, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -229,7 +230,7 @@ func BenchmarkAblationFlowHeuristic(b *testing.B) {
 	})
 	b.Run("Exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			passive.ExactCover(in, 0.95, cover.ExactOptions{})
+			passive.ExactCover(context.Background(), in, 0.95, cover.ExactOptions{})
 		}
 	})
 }
@@ -266,7 +267,7 @@ func BenchmarkAblationSamplers(b *testing.B) {
 // PPME solution (promised vs achieved coverage).
 func BenchmarkReplayValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		prom, ach, err := experiments.ReplayCheck(int64(i), 0.9)
+		prom, ach, err := experiments.ReplayCheck(context.Background(), int64(i), 0.9)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -308,7 +309,7 @@ func BenchmarkMIPSolver(b *testing.B) {
 // pipeline on a 150-router POP.
 func BenchmarkLargePOP150(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sanityBeacons(b, experiments.Large150(1), 150)
+		sanityBeacons(b, experiments.Large150(context.Background(), 1), 150)
 	}
 }
 
@@ -327,7 +328,7 @@ func BenchmarkAblationPPMEStar(b *testing.B) {
 	}
 	b.Run("LP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sampling.SolveRates(mi, installed, sampling.Config{K: 0.9}); err != nil {
+			if _, err := sampling.SolveRates(context.Background(), mi, installed, sampling.Config{K: 0.9}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -346,7 +347,7 @@ func BenchmarkAblationPPMEStar(b *testing.B) {
 func BenchmarkAblationRounding(b *testing.B) {
 	in := fig7Instance(6)
 	for i := 0; i < b.N; i++ {
-		pl, err := passive.RandomizedRounding(in, 0.95, int64(i))
+		pl, err := passive.RandomizedRounding(context.Background(), in, 0.95, int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

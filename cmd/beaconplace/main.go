@@ -2,20 +2,26 @@
 // computes a probe set covering every link from a candidate beacon set,
 // then places beacons with the algorithm of [15] (thiran), the paper's
 // greedy, or the exact ILP, and prints beacons with their probe loads.
+// -timeout bounds each solve; an expired ILP prints its incumbent.
 //
 // Usage:
 //
 //	beaconplace -preset paper15 -seed 1 -candidates 10 -method ilp
 //	beaconplace -preset paper29 -candidates 29 -method all
+//	beaconplace -preset paper80 -method ilp -timeout 5s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/active"
 	"repro/internal/graph"
 	"repro/internal/topology"
@@ -33,7 +39,8 @@ func run(args []string, out io.Writer) error {
 	preset := fs.String("preset", "paper15", "paper10|paper15|paper29|paper80")
 	seed := fs.Int64("seed", 0, "generation seed")
 	nCand := fs.Int("candidates", 0, "size of the candidate set V_B (0 = all routers)")
-	method := fs.String("method", "all", "thiran|greedy|ilp|all")
+	method := fs.String("method", "all", "thiran|greedy|ilp|all, or any beacon/* registry name")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget per solve (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,34 +79,35 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "# active monitoring on %d routers / %d links; |V_B| = %d, |Φ| = %d probes\n",
 		pop.Routers(), pop.G.NumEdges(), len(cands), len(ps.Probes))
 
-	type algo struct {
-		name string
-		fn   func(active.ProbeSet) (active.Placement, error)
-	}
-	var algos []algo
+	var names []string
 	switch *method {
-	case "thiran":
-		algos = []algo{{"thiran", active.PlaceThiran}}
-	case "greedy":
-		algos = []algo{{"greedy", active.PlaceGreedy}}
-	case "ilp":
-		algos = []algo{{"ilp", active.PlaceILP}}
 	case "all":
-		algos = []algo{{"thiran", active.PlaceThiran}, {"greedy", active.PlaceGreedy}, {"ilp", active.PlaceILP}}
+		names = []string{"beacon/thiran", "beacon/greedy", "beacon/ilp"}
 	default:
-		return fmt.Errorf("unknown method %q", *method)
+		name := *method
+		if !strings.Contains(name, "/") {
+			name = "beacon/" + name
+		}
+		names = []string{name}
 	}
 
-	for _, a := range algos {
-		pl, err := a.fn(ps)
+	var opts []repro.Option
+	if *timeout > 0 {
+		opts = append(opts, repro.WithTimeout(*timeout))
+	}
+	for _, name := range names {
+		res, err := repro.Solve(context.Background(), name, ps, opts...)
 		if err != nil {
-			return fmt.Errorf("%s: %w", a.name, err)
+			return err
 		}
+		pl := res.Beacons
 		if err := pl.Validate(ps); err != nil {
-			return fmt.Errorf("%s: invalid placement: %w", a.name, err)
+			return fmt.Errorf("%s: invalid placement: %w", name, err)
 		}
-		load := active.ProbeLoad(pl)
-		fmt.Fprintf(out, "\n%s: %d beacons (optimal: %v)\n", a.name, pl.Devices(), pl.Exact)
+		load := active.ProbeLoad(*pl)
+		fmt.Fprintf(out, "\n%s: %d beacons (optimal: %v, wall %v, nodes %d)\n",
+			strings.TrimPrefix(name, "beacon/"), pl.Devices(), res.Optimal,
+			res.Stats.Wall.Round(time.Millisecond), res.Stats.Nodes)
 		fmt.Fprintf(out, "%-8s %-14s %8s\n", "node", "label", "probes")
 		for _, b := range pl.Beacons {
 			fmt.Fprintf(out, "%-8d %-14s %8d\n", b, pop.G.Label(b), load[b])

@@ -23,7 +23,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 		}
 	}
 	// The ILP line must claim optimality.
-	if !strings.Contains(out, "(optimal: true)") {
+	if !strings.Contains(out, "optimal: true") {
 		t.Errorf("ILP not optimal:\n%s", out)
 	}
 }

@@ -1,21 +1,27 @@
 // Command passiveplace solves the Partial Passive Monitoring problem
 // PPM(k) (§4) on a generated or loaded POP and prints the chosen links.
+// Solvers are addressed by registry name; -timeout bounds the solve and
+// returns the best incumbent found when it fires.
 //
 // Usage:
 //
 //	passiveplace -preset paper10 -seed 1 -k 0.95 -method ilp
 //	passiveplace -map pop.map -k 1 -method greedy-load
 //	passiveplace -preset paper10 -k 0.9 -method ilp -budget 5
+//	passiveplace -preset paper15 -k 1 -method portfolio -timeout 2s
+//	passiveplace -solvers
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/cover"
-	"repro/internal/passive"
+	"repro"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -31,12 +37,20 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("passiveplace", flag.ContinueOnError)
 	preset := fs.String("preset", "paper10", "paper10|paper15|paper29|paper80")
 	mapFile := fs.String("map", "", "load topology from a Rocketfuel-style map instead of generating")
-	seed := fs.Int64("seed", 0, "generation seed (topology and traffic)")
+	seed := fs.Int64("seed", 0, "generation seed (topology, traffic, randomized solvers)")
 	k := fs.Float64("k", 1.0, "fraction of traffic to monitor, in (0,1]")
-	method := fs.String("method", "ilp", "greedy-load|greedy-gain|flow|ilp|exact")
-	budget := fs.Int("budget", 0, "with -method ilp: maximum number of devices (0 = unlimited)")
+	method := fs.String("method", "ilp", `solver name, with or without the "tap/" prefix (-solvers lists all)`)
+	budget := fs.Int("budget", 0, "with an ILP method: maximum number of devices (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the solve; on expiry the best incumbent is printed (0 = none)")
+	list := fs.Bool("solvers", false, "list registered solvers and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, name := range repro.Solvers() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
 	}
 
 	var pop *topology.POP
@@ -65,29 +79,26 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var pl passive.Placement
-	switch *method {
-	case "greedy-load":
-		pl = passive.GreedyLoad(in, *k)
-	case "greedy-gain":
-		pl = passive.GreedyGain(in, *k)
-	case "flow":
-		pl = passive.FlowHeuristic(in, *k)
-	case "exact":
-		pl = passive.ExactCover(in, *k, cover.ExactOptions{})
-	case "ilp":
-		pl, err = passive.SolveILP(in, *k, passive.ILPOptions{Budget: *budget})
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+	opts := []repro.Option{
+		repro.WithCoverage(*k),
+		repro.WithBudget(*budget),
+		repro.WithSeed(*seed),
 	}
+	if *timeout > 0 {
+		opts = append(opts, repro.WithTimeout(*timeout))
+	}
+	res, err := repro.Solve(context.Background(), solverName(*method), in, opts...)
+	if err != nil {
+		return err
+	}
+	pl := res.Taps
 
 	fmt.Fprintf(out, "# PPM(k=%.2f) on %d routers / %d links / %d traffics (method %s)\n",
 		*k, pop.Routers(), pop.G.NumEdges(), len(in.Traffics), pl.Method)
 	fmt.Fprintf(out, "devices: %d  coverage: %.2f%%  provably-optimal: %v\n",
-		pl.Devices(), pl.Fraction*100, pl.Exact)
+		pl.Devices(), pl.Fraction*100, res.Optimal)
+	fmt.Fprintf(out, "solver: %s  wall: %v  nodes: %d  pivots: %d\n",
+		res.Solver, res.Stats.Wall.Round(time.Millisecond), res.Stats.Nodes, res.Stats.Pivots)
 	loads := in.EdgeLoads()
 	fmt.Fprintf(out, "%-6s %-14s %-14s %12s\n", "link", "from", "to", "load")
 	for _, e := range pl.Edges {
@@ -96,6 +107,19 @@ func run(args []string, out io.Writer) error {
 			e, in.G.Label(edge.U), in.G.Label(edge.V), loads[e])
 	}
 	return nil
+}
+
+// solverName resolves CLI shorthand: names without a family prefix get
+// "tap/" prepended, and the historical "flow" spelling maps to the
+// flow-heuristic solver.
+func solverName(name string) string {
+	if name == "flow" {
+		name = "flow-heuristic"
+	}
+	if !strings.Contains(name, "/") {
+		name = "tap/" + name
+	}
+	return name
 }
 
 func presetConfig(name string) (topology.Config, error) {

@@ -27,6 +27,9 @@ func TestRunDefaultPreset(t *testing.T) {
 }
 
 func TestRunAllMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact MIP solves take tens of seconds")
+	}
 	for _, m := range []string{"greedy-load", "greedy-gain", "flow", "ilp", "exact"} {
 		out, err := runToString(t, "-k", "0.85", "-method", m)
 		if err != nil {
@@ -39,6 +42,9 @@ func TestRunAllMethods(t *testing.T) {
 }
 
 func TestRunBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact MIP solves take tens of seconds")
+	}
 	// A generous budget succeeds; budget 1 for 95% coverage fails.
 	if _, err := runToString(t, "-k", "0.95", "-method", "ilp", "-budget", "27"); err != nil {
 		t.Fatal(err)

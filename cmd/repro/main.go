@@ -7,9 +7,11 @@
 //	repro -figure fig7            # one figure to stdout
 //	repro -figure all -seeds 20   # everything, paper-strength averaging
 //	repro -figure fig6 -dot fig6.dot
+//	repro -figure fig8 -timeout 30s   # exact solves degrade to incumbents
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,8 +33,15 @@ func run(args []string, out io.Writer) error {
 	figure := fs.String("figure", "all", "fig6|fig7|fig8|fig9|fig10|fig11|ppme|samplers|large150|dynamic|replay|all")
 	seeds := fs.Int("seeds", experiments.DefaultSeeds, "runs per point (the paper uses 20)")
 	dotFile := fs.String("dot", "", "with -figure fig6: also write a Graphviz rendering here")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run; expired exact solves report their incumbents (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	wants := func(name string) bool { return *figure == "all" || *figure == name }
@@ -65,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	}
 	type figFn struct {
 		name string
-		fn   func(int) *stats.Series
+		fn   func(context.Context, int) *stats.Series
 	}
 	for _, f := range []figFn{
 		{"fig7", experiments.Fig7},
@@ -74,13 +83,13 @@ func run(args []string, out io.Writer) error {
 		{"fig10", experiments.Fig10},
 		{"fig11", experiments.Fig11},
 		{"ppme", experiments.PPMECost},
-		{"samplers", func(int) *stats.Series { return experiments.SamplerBias(1) }},
+		{"samplers", func(context.Context, int) *stats.Series { return experiments.SamplerBias(1) }},
 		{"large150", experiments.Large150},
 	} {
 		if !wants(f.name) {
 			continue
 		}
-		if err := emit(f.fn(*seeds)); err != nil {
+		if err := emit(f.fn(ctx, *seeds)); err != nil {
 			return err
 		}
 	}
@@ -93,7 +102,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-6s %-8s %-12s %-12s %-12s %-12s\n",
 			"seed", "rounds", "recomputes", "min cover", "final cover", "reopt time")
 		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
-			res, err := experiments.Dynamic(seed, 10, 0.45)
+			res, err := experiments.Dynamic(ctx, seed, 10, 0.45)
 			if err != nil {
 				return err
 			}
@@ -108,7 +117,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "# validation: packet replay of PPME solutions (promised vs achieved coverage)")
 		fmt.Fprintf(out, "%-6s %-6s %-12s %-12s\n", "seed", "k", "promised", "achieved")
 		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
-			prom, ach, err := experiments.ReplayCheck(seed, 0.9)
+			prom, ach, err := experiments.ReplayCheck(ctx, seed, 0.9)
 			if err != nil {
 				return err
 			}

@@ -1,18 +1,26 @@
 // active-beacons reproduces the Figure 9 study: compute the probe set Φ
 // covering every link of a 15-router POP, then compare the three beacon
 // placement algorithms (§6) as the candidate set grows, including the
-// per-beacon probe load (message overhead).
+// per-beacon probe load (message overhead). Solvers are addressed by
+// registry name and bounded by a shared deadline.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	// One deadline for the whole study: expired ILP solves degrade to
+	// their greedy-warm-started incumbents instead of failing.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	pop := repro.GeneratePOP(repro.Paper15)
 
 	var routers []repro.NodeID
@@ -35,20 +43,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		th, err := repro.PlaceBeacons(ps, repro.BeaconThiran)
-		if err != nil {
-			log.Fatal(err)
+		counts := make(map[string]int, 3)
+		for _, name := range []string{"beacon/thiran", "beacon/greedy", "beacon/ilp"} {
+			res, err := repro.Solve(ctx, name, ps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts[name] = res.Devices()
 		}
-		gr, err := repro.PlaceBeacons(ps, repro.BeaconGreedy)
-		if err != nil {
-			log.Fatal(err)
-		}
-		il, err := repro.PlaceBeacons(ps, repro.BeaconILP)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-6d %-8d %-8d %-8d %-8d\n",
-			nb, len(ps.Probes), th.Devices(), gr.Devices(), il.Devices())
+		fmt.Printf("%-6d %-8d %-8d %-8d %-8d\n", nb, len(ps.Probes),
+			counts["beacon/thiran"], counts["beacon/greedy"], counts["beacon/ilp"])
 	}
 
 	// Detail view with all candidates: who sends how many probes?
@@ -56,12 +60,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pl, err := repro.PlaceBeacons(ps, repro.BeaconILP)
+	res, err := repro.Solve(ctx, "beacon/ilp", ps)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\noptimal placement with all %d routers selectable: %d beacons\n",
-		len(routers), pl.Devices())
+	pl := res.Beacons
+	fmt.Printf("\noptimal placement with all %d routers selectable: %d beacons (proven: %v, %v)\n",
+		len(routers), pl.Devices(), res.Optimal, res.Stats.Wall.Round(time.Millisecond))
 	for i, b := range pl.Beacons {
 		n := 0
 		for _, s := range pl.Sender {

@@ -2,18 +2,23 @@
 // the PPME(h,k) MILP, validate the promised coverage by packet-level
 // replay, then let traffic drift and watch the §5.4 controller keep the
 // coverage above threshold by re-optimizing only the sampling rates
-// (device positions never move).
+// (device positions never move). Every solve is context-bounded.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/traffic"
 )
 
 func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	// A compact POP: the PPME MILP is exact but our simplex pays a much
 	// higher constant than CPLEX, so §5 experiments use a 7-router POP
 	// (the paper prescribes no instance size for §5).
@@ -31,12 +36,12 @@ func main() {
 		h[i] = 0.5
 	}
 	cfg := repro.SamplingConfig{K: 0.9, H: h}
-	sol, err := repro.PlaceSamplers(mi, cfg)
+	sol, err := repro.PlaceSamplers(ctx, mi, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("PPME placed %d devices, setup cost %.1f, exploitation cost %.2f\n",
-		sol.Devices(), sol.SetupCost, sol.ExploitCost)
+	fmt.Printf("PPME placed %d devices, setup cost %.1f, exploitation cost %.2f (optimal: %v, %d B&B nodes)\n",
+		sol.Devices(), sol.SetupCost, sol.ExploitCost, sol.Exact, sol.Stats.Nodes)
 	for _, e := range sol.Edges {
 		edge := mi.G.Edge(e)
 		fmt.Printf("  link %2d (%s—%s): sampling rate %.2f\n",
@@ -54,7 +59,7 @@ func main() {
 		promise*100, res.Fraction*100, res.TotalPackets)
 
 	// Dynamic traffic: drift the matrix and let the controller adapt.
-	ctl, err := repro.NewRateController(mi, sol.Edges, repro.SamplingConfig{K: 0.9}, 0.89)
+	ctl, err := repro.NewRateController(ctx, mi, sol.Edges, repro.SamplingConfig{K: 0.9}, 0.89)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +72,7 @@ func main() {
 			log.Fatal(err)
 		}
 		before := ctl.AchievedFraction(drifted)
-		recomputed, err := ctl.Observe(drifted)
+		recomputed, err := ctl.Observe(ctx, drifted)
 		if err != nil {
 			log.Fatalf("round %d: devices starved, operator must run PPME again: %v", round, err)
 		}

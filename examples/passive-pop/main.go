@@ -1,19 +1,24 @@
 // passive-pop reproduces the Figure 7 study end to end: sweep the
 // monitored-traffic percentage on a 10-router POP and compare the
 // baseline greedy against the exact optimizer, printing the series the
-// paper plots. It then demonstrates the two MIP extensions of §4.3:
-// incremental placement over already-installed devices, and optimal
-// placement under a device budget.
+// paper plots. It then demonstrates the two MIP extensions of §4.3
+// through the functional options of the Solver API: incremental
+// placement over already-installed devices (WithInstalled), and optimal
+// placement under a device budget (WithBudget).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	pop := repro.GeneratePOP(repro.Paper10)
 	demands := repro.GenerateDemands(pop, repro.TrafficConfig{Seed: 3})
 	in, err := repro.RouteSingle(pop, demands)
@@ -22,30 +27,39 @@ func main() {
 	}
 
 	fmt.Println("# Figure 7 style sweep on one seed (devices needed)")
+	fmt.Println("# (each ILP solve bounded to 15s; * marks an unproven incumbent)")
 	fmt.Printf("%-12s %-8s %-8s\n", "% monitored", "greedy", "ILP")
 	for _, k := range []float64{0.75, 0.80, 0.85, 0.90, 0.95, 1.00} {
-		g, err := repro.PlaceTaps(in, k, repro.TapGreedyLoad)
+		g, err := repro.Solve(ctx, "tap/greedy-load", in, repro.WithCoverage(k))
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := repro.PlaceTaps(in, k, repro.TapILP)
+		// Deadline-bounded exact solve: on expiry the best incumbent is
+		// reported instead of an error, so the sweep always completes.
+		opt, err := repro.Solve(ctx, "tap/ilp", in,
+			repro.WithCoverage(k), repro.WithTimeout(15*time.Second))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-12.0f %-8d %-8d\n", k*100, g.Devices(), opt.Devices())
+		mark := ""
+		if !opt.Optimal {
+			mark = "*"
+		}
+		fmt.Printf("%-12.0f %-8d %-7d%s\n", k*100, g.Devices(), opt.Devices(), mark)
 	}
 
 	// Incremental placement (§4.3): the operator already installed two
 	// devices on the busiest links; where do new ones go?
-	busiest, err := repro.PlaceTaps(in, 0.75, repro.TapGreedyLoad)
+	busiest, err := repro.Solve(ctx, "tap/greedy-load", in, repro.WithCoverage(0.75))
 	if err != nil {
 		log.Fatal(err)
 	}
-	installed := busiest.Edges
+	installed := busiest.Taps.Edges
 	if len(installed) > 2 {
 		installed = installed[:2]
 	}
-	inc, err := repro.PlaceTapsILP(in, 0.95, repro.ILPOptions{Installed: installed})
+	inc, err := repro.Solve(ctx, "tap/ilp", in,
+		repro.WithCoverage(0.95), repro.WithInstalled(installed...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,17 +67,19 @@ func main() {
 		len(installed), inc.Devices()-len(installed))
 
 	// Budget variant: what is the best coverage 4 devices can buy?
-	mc, err := repro.MaxCoverage(in, 4, nil)
+	mc, err := repro.Solve(ctx, "tap/max-coverage", in, repro.WithBudget(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("budget: 4 devices can monitor at most %.1f%% of the traffic\n", mc.Fraction*100)
+	fmt.Printf("budget: 4 devices can monitor at most %.1f%% of the traffic\n",
+		mc.Taps.Fraction*100)
 
 	// Expected gain of a 5th device (the paper's provisioning question).
-	mc5, err := repro.MaxCoverage(in, 1, mc.Edges)
+	mc5, err := repro.Solve(ctx, "tap/max-coverage", in,
+		repro.WithBudget(1), repro.WithInstalled(mc.Taps.Edges...))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("a 5th device raises coverage to %.1f%% (+%.1f points)\n",
-		mc5.Fraction*100, (mc5.Fraction-mc.Fraction)*100)
+		mc5.Taps.Fraction*100, (mc5.Taps.Fraction-mc.Taps.Fraction)*100)
 }

@@ -1,17 +1,22 @@
 // Quickstart: generate a POP, route traffic through it, and place the
 // minimum number of passive monitoring devices to cover 95% of the
-// traffic — the paper's headline use case, in a few lines of the public
-// API.
+// traffic — the paper's headline use case, through the context-aware
+// Solver API: solvers are addressed by registry name, every solve is
+// deadline-bounded, and results carry solver statistics.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 10-router POP as in the paper's Figure 7 instance: 27 links,
 	// 12 traffic endpoints → 132 traffics.
 	pop := repro.GeneratePOP(repro.Paper10)
@@ -24,28 +29,44 @@ func main() {
 		pop.Routers(), pop.G.NumEdges(), len(in.Traffics))
 
 	// The paper's comparison: baseline greedy versus the exact MIP.
-	greedy, err := repro.PlaceTaps(in, 0.95, repro.TapGreedyLoad)
+	// Each solve is bounded by a deadline; an expired exact solve
+	// returns its best incumbent with Optimal == false instead of
+	// nothing.
+	greedy, err := repro.Solve(ctx, "tap/greedy-load", in, repro.WithCoverage(0.95))
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := repro.PlaceTaps(in, 0.95, repro.TapILP)
+	exact, err := repro.Solve(ctx, "tap/ilp", in,
+		repro.WithCoverage(0.95), repro.WithTimeout(30*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("to monitor 95%% of the traffic:\n")
-	fmt.Printf("  greedy places %2d devices (coverage %.1f%%)\n", greedy.Devices(), greedy.Fraction*100)
-	fmt.Printf("  ILP    places %2d devices (coverage %.1f%%)\n", exact.Devices(), exact.Fraction*100)
+	fmt.Printf("  greedy places %2d devices (coverage %.1f%%)\n",
+		greedy.Devices(), greedy.Taps.Fraction*100)
+	fmt.Printf("  ILP    places %2d devices (coverage %.1f%%, optimal %v, %d B&B nodes in %v)\n",
+		exact.Devices(), exact.Taps.Fraction*100, exact.Optimal,
+		exact.Stats.Nodes, exact.Stats.Wall.Round(time.Millisecond))
 
 	// Monitoring everything costs disproportionately more — the paper's
 	// "monitor only 95%" advice.
-	full, err := repro.PlaceTaps(in, 1.0, repro.TapILP)
+	full, err := repro.Solve(ctx, "tap/ilp", in, repro.WithCoverage(1.0))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("covering 100%% instead needs %d devices (+%d)\n",
 		full.Devices(), full.Devices()-exact.Devices())
 
-	for _, e := range exact.Edges {
+	// A portfolio races greedy-gain, the flow heuristic and the ILP
+	// concurrently and keeps the best placement at the deadline.
+	best, err := repro.Solve(ctx, "tap/portfolio", in,
+		repro.WithCoverage(0.95), repro.WithTimeout(10*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("portfolio winner: %s with %d devices\n", best.Solver, best.Devices())
+
+	for _, e := range exact.Taps.Edges {
 		edge := in.G.Edge(e)
 		fmt.Printf("  tap link %2d: %s — %s\n", e, in.G.Label(edge.U), in.G.Label(edge.V))
 	}

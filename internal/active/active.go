@@ -16,9 +16,11 @@
 package active
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lp"
 	"repro/internal/mip"
@@ -215,9 +217,13 @@ type Placement struct {
 	// Sender assigns every probe (by index into the ProbeSet) the
 	// beacon that emits it.
 	Sender []graph.NodeID
-	// Exact is true when the placement is provably optimal.
+	// Exact is true when the placement is provably optimal; a canceled
+	// exact solve reports its incumbent with Exact = false.
 	Exact  bool
 	Method string
+	// Stats carries the solver effort counters (zero for the greedy
+	// placements).
+	Stats core.SolveStats
 }
 
 // Devices returns the number of beacons (the y-axis of Figures 9–11).
@@ -371,8 +377,23 @@ func PlaceGreedy(ps ProbeSet) (Placement, error) {
 //	min Σ y_i   s.t.  y_i = 0 ∀i ∉ V_B,  y_{ϕu} + y_{ϕv} ≥ 1 ∀ϕ ∈ Φ
 //
 // It is a vertex cover restricted to the candidate set, solved with the
-// branch-and-bound of internal/mip (CPLEX in the paper).
-func PlaceILP(ps ProbeSet) (Placement, error) {
+// branch-and-bound of internal/mip (CPLEX in the paper). Cancelling ctx
+// mid-solve returns the greedy-warm-started incumbent with Exact =
+// false.
+func PlaceILP(ctx context.Context, ps ProbeSet) (Placement, error) {
+	return PlaceILPOpts(ctx, ps, ILPOptions{})
+}
+
+// ILPOptions tunes PlaceILPOpts.
+type ILPOptions struct {
+	// MaxNodes caps branch-and-bound nodes (0 = solver default).
+	MaxNodes int
+	// Gap is the absolute optimality gap for pruning (0 = default).
+	Gap float64
+}
+
+// PlaceILPOpts is PlaceILP with explicit branch-and-bound knobs.
+func PlaceILPOpts(ctx context.Context, ps ProbeSet, opts ILPOptions) (Placement, error) {
 	p := mip.NewProblem(lp.Minimize)
 	ys := make(map[graph.NodeID]lp.Var, ps.G.NumNodes())
 	isCand := make(map[graph.NodeID]bool, len(ps.Candidates))
@@ -412,6 +433,7 @@ func PlaceILP(ps ProbeSet) (Placement, error) {
 		return finishPlacement(ps, map[graph.NodeID]bool{}, true, "ilp")
 	}
 	// Warm start from the greedy placement.
+	mo := mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap}
 	if gr, err := PlaceGreedy(ps); err == nil {
 		inc := make([]float64, p.NumVariables())
 		for _, b := range gr.Beacons {
@@ -419,13 +441,22 @@ func PlaceILP(ps ProbeSet) (Placement, error) {
 				inc[v] = 1
 			}
 		}
-		p.SetOptions(mip.Options{Incumbent: inc})
+		mo.Incumbent = inc
 	}
-	sol, err := p.Solve()
+	p.SetOptions(mo)
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return Placement{}, err
 	}
-	if sol.Status != lp.Optimal {
+	exact := true
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Canceled, lp.IterLimit:
+		if sol.X == nil {
+			return Placement{}, fmt.Errorf("active: ilp: solver status %v and no incumbent", sol.Status)
+		}
+		exact = false
+	default:
 		return Placement{}, fmt.Errorf("active: ilp: solver status %v", sol.Status)
 	}
 	beacons := make(map[graph.NodeID]bool)
@@ -434,7 +465,12 @@ func PlaceILP(ps ProbeSet) (Placement, error) {
 			beacons[n] = true
 		}
 	}
-	return finishPlacement(ps, beacons, true, "ilp")
+	pl, err := finishPlacement(ps, beacons, exact, "ilp")
+	if err != nil {
+		return Placement{}, err
+	}
+	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
+	return pl, nil
 }
 
 // ProbeLoad returns, per beacon, how many probes it sends under the

@@ -1,6 +1,7 @@
 package active
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -100,7 +101,7 @@ func TestPlacementAlgorithmsOnStar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ilp, err := PlaceILP(ps)
+	ilp, err := PlaceILP(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestILPMatchesBruteForce(t *testing.T) {
 		if want == math.MaxInt32 {
 			return true // infeasible probe set (cannot happen by construction)
 		}
-		ilp, err := PlaceILP(ps)
+		ilp, err := PlaceILP(context.Background(), ps)
 		if err != nil {
 			t.Logf("seed %d: ilp: %v", seed, err)
 			return false
@@ -276,7 +277,7 @@ func TestPlacementValidateErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := PlaceILP(ps)
+	pl, err := PlaceILP(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestPlacementValidateErrors(t *testing.T) {
 
 func TestBalanceSendersNeverWorsens(t *testing.T) {
 	ps := popProbeSet(t, 3, 10, 10)
-	pl, err := PlaceILP(ps)
+	pl, err := PlaceILP(context.Background(), ps)
 	if err != nil {
 		t.Fatal(err)
 	}

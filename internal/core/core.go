@@ -12,6 +12,23 @@ import (
 	"repro/internal/graph"
 )
 
+// SolveStats aggregates the effort counters of an exact solver run.
+// Every solver package (passive, sampling, active) attaches one to its
+// result so the facade can report how hard a solve was and how tight
+// the proof is.
+type SolveStats struct {
+	// Nodes is the number of branch-and-bound nodes explored (0 for
+	// pure heuristics).
+	Nodes int
+	// Pivots is the total simplex iterations across all LP relaxations
+	// (0 for combinatorial solvers).
+	Pivots int
+	// Bound is the best proven bound on the objective; it equals the
+	// objective at optimality and is meaningful only when Proven or an
+	// early-stopped exact search produced it.
+	Bound float64
+}
+
 // Traffic is a single-routed traffic: the aggregation of all IP flows
 // following one path through the POP, with the bandwidth routed along it
 // (the paper's (p_t, v_t) pairs).

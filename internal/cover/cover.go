@@ -10,6 +10,7 @@
 package cover
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -191,7 +192,10 @@ type ExactOptions struct {
 // always; for full covers, dominated elements (covering-set list
 // containing another element's) are dropped and sets covering some
 // element exclusively are forced in.
-func Exact(in Instance, target float64, opts ExactOptions) Result {
+//
+// When ctx fires mid-search the best incumbent found so far (at worst
+// the greedy warm start) is returned with Exact = false.
+func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) Result {
 	if err := in.Validate(); err != nil {
 		panic(err)
 	}
@@ -206,6 +210,12 @@ func Exact(in Instance, target float64, opts ExactOptions) Result {
 	if target <= 1e-12 {
 		return Result{Feasible: true, Exact: true}
 	}
+	if ctx.Err() != nil {
+		// Canceled before the search started: the greedy warm start is
+		// the incumbent.
+		greedy.Exact = false
+		return greedy
+	}
 
 	fullCover := target >= in.TotalWeight()-1e-9
 	// Merge elements with identical covering sets (their coverage always
@@ -213,6 +223,7 @@ func Exact(in Instance, target float64, opts ExactOptions) Result {
 	searchIn, searchTarget := mergeSignatures(in, target)
 
 	s := &exactSearch{
+		ctx:     ctx,
 		in:      searchIn,
 		target:  searchTarget,
 		best:    append([]int(nil), greedy.Chosen...),
@@ -377,6 +388,7 @@ func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
 }
 
 type exactSearch struct {
+	ctx     context.Context
 	in      Instance
 	target  float64
 	best    []int
@@ -548,6 +560,12 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, exc
 	}
 	s.nodes++
 	if s.nodes > s.maxN {
+		s.capped = true
+		return
+	}
+	// Poll the context every 1024 nodes; a fired context stops the
+	// search exactly like an exhausted node budget (incumbent kept).
+	if s.nodes&1023 == 0 && s.ctx.Err() != nil {
 		s.capped = true
 		return
 	}

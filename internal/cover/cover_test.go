@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -80,7 +81,7 @@ func TestGreedySuboptimalOnPaperCounterexample(t *testing.T) {
 	if len(g.Chosen) != 3 {
 		t.Fatalf("greedy chose %v, want the paper's 3-set trap", g.Chosen)
 	}
-	ex := Exact(in, in.TotalWeight(), ExactOptions{})
+	ex := Exact(context.Background(), in, in.TotalWeight(), ExactOptions{})
 	if !ex.Exact || len(ex.Chosen) != 2 {
 		t.Fatalf("exact chose %v (exact=%v), want 2 sets", ex.Chosen, ex.Exact)
 	}
@@ -93,7 +94,7 @@ func TestExactMatchesKnownOptimum(t *testing.T) {
 			{0, 1, 2}, {3, 4, 5}, {0, 3}, {1, 4}, {2, 5},
 		},
 	}
-	res := Exact(in, 6, ExactOptions{})
+	res := Exact(context.Background(), in, 6, ExactOptions{})
 	if !res.Exact || len(res.Chosen) != 2 {
 		t.Fatalf("exact = %v (%d sets), want 2", res.Chosen, len(res.Chosen))
 	}
@@ -101,7 +102,7 @@ func TestExactMatchesKnownOptimum(t *testing.T) {
 
 func TestExactInfeasible(t *testing.T) {
 	in := Instance{NumElements: 2, Weights: []float64{1, 1}, Sets: [][]int{{0}}}
-	res := Exact(in, 2, ExactOptions{})
+	res := Exact(context.Background(), in, 2, ExactOptions{})
 	if res.Feasible {
 		t.Fatal("want infeasible")
 	}
@@ -120,7 +121,7 @@ func TestExactNodeCap(t *testing.T) {
 	for e := 0; e < 40; e++ {
 		in.Sets[e%30] = append(in.Sets[e%30], e) // ensure coverability
 	}
-	res := Exact(in, in.TotalWeight()*0.9, ExactOptions{MaxNodes: 2})
+	res := Exact(context.Background(), in, in.TotalWeight()*0.9, ExactOptions{MaxNodes: 2})
 	if res.Exact {
 		t.Fatal("2-node budget cannot prove optimality on a 25-set instance")
 	}
@@ -242,7 +243,7 @@ func TestExactMatchesBruteForce(t *testing.T) {
 		for _, k := range []float64{0.5, 0.8, 0.95, 1.0} {
 			target := in.TotalWeight() * k
 			want := bruteForce(in, target)
-			got := Exact(in, target, ExactOptions{})
+			got := Exact(context.Background(), in, target, ExactOptions{})
 			if !got.Exact {
 				t.Logf("seed %d k=%g: node cap hit on a tiny instance", seed, k)
 				return false
@@ -271,7 +272,7 @@ func TestGreedyWithinBoundOfExact(t *testing.T) {
 		in := randomInstance(rng, 3+rng.Intn(12), 2+rng.Intn(10))
 		target := in.TotalWeight() * (0.6 + 0.4*rng.Float64())
 		g := GreedyPartial(in, target)
-		ex := Exact(in, target, ExactOptions{})
+		ex := Exact(context.Background(), in, target, ExactOptions{})
 		if !g.Feasible || !ex.Feasible {
 			return true
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -52,7 +53,7 @@ func instance(cfg topology.Config, seed int64) *core.Instance {
 // (Theorem 1 view), which provably returns the same optima as the
 // paper's CPLEX-solved MIP — internal/passive's tests cross-check the
 // two on smaller instances.
-func PassivePlacement(cfg topology.Config, figure string, seeds, maxNodes int) *stats.Series {
+func PassivePlacement(ctx context.Context, cfg topology.Config, figure string, seeds, maxNodes int) *stats.Series {
 	s := stats.NewSeries(
 		figure+": passive monitoring devices placement",
 		"% monitored", "number of monitoring devices",
@@ -63,7 +64,7 @@ func PassivePlacement(cfg topology.Config, figure string, seeds, maxNodes int) *
 		for _, k := range KSweep {
 			g := passive.GreedyLoad(in, k)
 			s.Add(k*100, "Greedy algorithm", float64(g.Devices()))
-			ex := passive.ExactCover(in, k, cover.ExactOptions{MaxNodes: maxNodes})
+			ex := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes})
 			s.Add(k*100, "ILP", float64(ex.Devices()))
 		}
 	}
@@ -71,8 +72,8 @@ func PassivePlacement(cfg topology.Config, figure string, seeds, maxNodes int) *
 }
 
 // Fig7 is the 10-router POP of Figure 7 (27 links, 132 traffics).
-func Fig7(seeds int) *stats.Series {
-	return PassivePlacement(topology.Paper10, "Figure 7 (10-router POP)", seeds, 0)
+func Fig7(ctx context.Context, seeds int) *stats.Series {
+	return PassivePlacement(ctx, topology.Paper10, "Figure 7 (10-router POP)", seeds, 0)
 }
 
 // Fig8 is the 15-router POP of Figure 8 (71 links, 1980 traffics).
@@ -80,15 +81,15 @@ func Fig7(seeds int) *stats.Series {
 // and 100% points of this instance are hard for our solver (CPLEX
 // closes them; see EXPERIMENTS.md); the returned incumbents are upper
 // bounds within ~1 device of optimal and preserve the figure's shape.
-func Fig8(seeds int) *stats.Series {
-	return PassivePlacement(topology.Paper15, "Figure 8 (15-router POP)", seeds, 400_000)
+func Fig8(ctx context.Context, seeds int) *stats.Series {
+	return PassivePlacement(ctx, topology.Paper15, "Figure 8 (15-router POP)", seeds, 400_000)
 }
 
 // BeaconPlacement reproduces Figures 9–11: beacons selected by the
 // algorithm of [15] (Thiran), the paper's greedy, and the exact ILP, as
 // the candidate set V_B grows. Candidates are random router subsets,
 // re-drawn per seed.
-func BeaconPlacement(cfg topology.Config, figure string, seeds int, vbSweep []int) *stats.Series {
+func BeaconPlacement(ctx context.Context, cfg topology.Config, figure string, seeds int, vbSweep []int) *stats.Series {
 	s := stats.NewSeries(
 		figure+": active monitoring beacons placement",
 		"selectable beacons", "number of beacons selected",
@@ -117,7 +118,7 @@ func BeaconPlacement(cfg topology.Config, figure string, seeds int, vbSweep []in
 			if err != nil {
 				panic(err)
 			}
-			il, err := active.PlaceILP(ps)
+			il, err := active.PlaceILP(ctx, ps)
 			if err != nil {
 				panic(err)
 			}
@@ -157,26 +158,26 @@ func vbSweep(max int) []int {
 }
 
 // Fig9 is the 15-router beacon experiment of Figure 9.
-func Fig9(seeds int) *stats.Series {
-	return BeaconPlacement(topology.Paper15, "Figure 9 (15-router POP)", seeds, vbSweep(15))
+func Fig9(ctx context.Context, seeds int) *stats.Series {
+	return BeaconPlacement(ctx, topology.Paper15, "Figure 9 (15-router POP)", seeds, vbSweep(15))
 }
 
 // Fig10 is the 29-router beacon experiment of Figure 10.
-func Fig10(seeds int) *stats.Series {
-	return BeaconPlacement(topology.Paper29, "Figure 10 (29-router POP)", seeds, vbSweep(29))
+func Fig10(ctx context.Context, seeds int) *stats.Series {
+	return BeaconPlacement(ctx, topology.Paper29, "Figure 10 (29-router POP)", seeds, vbSweep(29))
 }
 
 // Fig11 is the 80-router beacon experiment of Figure 11.
-func Fig11(seeds int) *stats.Series {
-	return BeaconPlacement(topology.Paper80, "Figure 11 (80-router POP)", seeds, vbSweep(80))
+func Fig11(ctx context.Context, seeds int) *stats.Series {
+	return BeaconPlacement(ctx, topology.Paper80, "Figure 11 (80-router POP)", seeds, vbSweep(80))
 }
 
 // Large150 is the paper's §7 outlook ("we are also currently testing
 // our solution on larger POPs, with at least 150 routers"): the beacon
 // comparison on a 150-router POP, sweeping a coarse candidate grid.
-func Large150(seeds int) *stats.Series {
+func Large150(ctx context.Context, seeds int) *stats.Series {
 	cfg := topology.Config{Routers: 150, InterRouterLinks: 280, Endpoints: 80}
-	return BeaconPlacement(cfg, "§7 outlook (150-router POP)", seeds, []int{10, 30, 60, 90, 120, 150})
+	return BeaconPlacement(ctx, cfg, "§7 outlook (150-router POP)", seeds, []int{10, 30, 60, 90, 120, 150})
 }
 
 // Fig6 reproduces Figure 6: the non-uniform traffic weight over a
@@ -234,7 +235,7 @@ func Fig6(seed int64, text io.Writer, dot io.Writer) error {
 // setup+exploitation cost of PPME(h,k) across the coverage sweep on a
 // multi-routed 10-router POP, compared with the cost of the PPM
 // placement run at full rate.
-func PPMECost(seeds int) *stats.Series {
+func PPMECost(ctx context.Context, seeds int) *stats.Series {
 	s := stats.NewSeries(
 		"§5: PPME(h,k) cost vs full-rate PPM placement",
 		"% monitored", "total cost (setup + exploitation)",
@@ -252,7 +253,7 @@ func PPMECost(seeds int) *stats.Series {
 		}
 		costs := sampling.DefaultCosts()
 		for _, k := range []float64{0.75, 0.85, 0.95} {
-			sol, err := sampling.Solve(mi, sampling.Config{K: k, Costs: costs, MaxNodes: 20000})
+			sol, err := sampling.Solve(ctx, mi, sampling.Config{K: k, Costs: costs, MaxNodes: 20000})
 			if err != nil {
 				panic(err)
 			}
@@ -266,7 +267,7 @@ func PPMECost(seeds int) *stats.Series {
 				Install: func(e graph.Edge) float64 { return costs.Install(e) + costs.Exploit(e) },
 				Exploit: func(graph.Edge) float64 { return 0 },
 			}
-			base, err := sampling.Solve(mi, sampling.Config{K: k, Costs: fullRate, MaxNodes: 20000})
+			base, err := sampling.Solve(ctx, mi, sampling.Config{K: k, Costs: fullRate, MaxNodes: 20000})
 			if err != nil {
 				panic(err)
 			}
@@ -289,7 +290,7 @@ type DynamicResult struct {
 
 // Dynamic runs the §5.4 controller over `rounds` drift steps of ±drift
 // relative volume change and reports adaptation statistics.
-func Dynamic(seed int64, rounds int, drift float64) (DynamicResult, error) {
+func Dynamic(ctx context.Context, seed int64, rounds int, drift float64) (DynamicResult, error) {
 	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8, Seed: seed}
 	pop := topology.Generate(cfg)
 	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
@@ -299,11 +300,11 @@ func Dynamic(seed int64, rounds int, drift float64) (DynamicResult, error) {
 	}
 	// Place devices once with PPME at k=0.9, then only rates adapt.
 	k := 0.9
-	sol, err := sampling.Solve(mi, sampling.Config{K: k, MaxNodes: 20000})
+	sol, err := sampling.Solve(ctx, mi, sampling.Config{K: k, MaxNodes: 20000})
 	if err != nil {
 		return DynamicResult{}, err
 	}
-	ctl, err := sampling.NewController(mi, sol.Edges, sampling.Config{K: k}, 0.88)
+	ctl, err := sampling.NewController(ctx, mi, sol.Edges, sampling.Config{K: k}, 0.88)
 	if err != nil {
 		return DynamicResult{}, err
 	}
@@ -320,8 +321,13 @@ func Dynamic(seed int64, rounds int, drift float64) (DynamicResult, error) {
 			res.MinCoverage = before
 		}
 		start := time.Now()
-		recomputed, err := ctl.Observe(mi)
+		recomputed, err := ctl.Observe(ctx, mi)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The run's deadline fired mid-reoptimization: that is a
+				// caller-imposed stop, not starvation — report it as such.
+				return DynamicResult{}, ctx.Err()
+			}
 			// Drift starved the installed set: even full-rate sampling
 			// cannot reach k anymore. The operator would fall back to
 			// PPME (add devices); we stop and report the rounds run.
@@ -377,7 +383,7 @@ func SamplerBias(seed int64) *stats.Series {
 
 // ReplayCheck validates a PPME solution by packet replay (the simulate
 // substrate): returns promised and achieved coverage.
-func ReplayCheck(seed int64, k float64) (promised, achieved float64, err error) {
+func ReplayCheck(ctx context.Context, seed int64, k float64) (promised, achieved float64, err error) {
 	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8, Seed: seed}
 	pop := topology.Generate(cfg)
 	demands := traffic.Demands(pop, traffic.Config{Seed: seed})
@@ -385,7 +391,7 @@ func ReplayCheck(seed int64, k float64) (promised, achieved float64, err error) 
 	if err != nil {
 		return 0, 0, err
 	}
-	sol, err := sampling.Solve(mi, sampling.Config{K: k, MaxNodes: 20000})
+	sol, err := sampling.Solve(ctx, mi, sampling.Config{K: k, MaxNodes: 20000})
 	if err != nil {
 		return 0, 0, err
 	}

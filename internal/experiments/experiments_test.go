@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -9,7 +10,10 @@ import (
 )
 
 func TestFig7ShapeOneSeed(t *testing.T) {
-	s := Fig7(1)
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
+	s := Fig7(context.Background(), 1)
 	// The monotone staircase of Figure 7: more coverage, more devices.
 	prevG, prevI := 0.0, 0.0
 	for _, x := range s.Xs() {
@@ -42,8 +46,11 @@ func TestFig7ShapeOneSeed(t *testing.T) {
 }
 
 func TestBeaconPlacementOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
 	cfg := topology.Config{Routers: 10, InterRouterLinks: 18, Endpoints: 6}
-	s := BeaconPlacement(cfg, "test", 2, []int{4, 8, 10})
+	s := BeaconPlacement(context.Background(), cfg, "test", 2, []int{4, 8, 10})
 	for _, x := range s.Xs() {
 		il := s.MeanAt(x, "ILP")
 		th := s.MeanAt(x, "Thiran")
@@ -72,7 +79,10 @@ func TestFig6Writes(t *testing.T) {
 }
 
 func TestPPMECostRuns(t *testing.T) {
-	s := PPMECost(1)
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
+	s := PPMECost(context.Background(), 1)
 	for _, x := range s.Xs() {
 		ppme := s.MeanAt(x, "PPME cost")
 		full := s.MeanAt(x, "PPM full-rate cost")
@@ -88,7 +98,10 @@ func TestPPMECostRuns(t *testing.T) {
 }
 
 func TestDynamicRuns(t *testing.T) {
-	res, err := Dynamic(1, 5, 0.4)
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
+	res, err := Dynamic(context.Background(), 1, 5, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +114,10 @@ func TestDynamicRuns(t *testing.T) {
 }
 
 func TestReplayCheckCloseToPromise(t *testing.T) {
-	prom, ach, err := ReplayCheck(1, 0.9)
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
+	prom, ach, err := ReplayCheck(context.Background(), 1, 0.9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -60,6 +61,9 @@ const (
 	Unbounded
 	// IterLimit means the iteration budget was exhausted.
 	IterLimit
+	// Canceled means the solve was interrupted by its context before
+	// reaching a proven outcome.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -72,6 +76,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration limit"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -226,23 +232,29 @@ func (p *Problem) Evaluate(x []float64) (objective float64, feasible bool) {
 // Solve runs the two-phase simplex and returns the solution. The Problem
 // is not modified and may be solved again (e.g. after SetBounds).
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveContext(context.Background())
+}
+
+// SolveContext is Solve under a context: the pivot loop polls ctx and
+// returns a Canceled solution when it fires, so long simplex runs can be
+// deadline-bounded by callers (the branch-and-bound MIP in particular).
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 	if len(p.names) == 0 {
 		return nil, ErrNoVariables
 	}
 	t := newTableau(p)
+	t.ctx = ctx
 	st := t.phase1()
 	if st == Infeasible {
 		return &Solution{Status: Infeasible, Iterations: t.iters}, nil
 	}
-	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iterations: t.iters}, nil
+	if st == IterLimit || st == Canceled {
+		return &Solution{Status: st, Iterations: t.iters}, nil
 	}
 	st = t.phase2()
 	switch st {
-	case Unbounded:
-		return &Solution{Status: Unbounded, Iterations: t.iters}, nil
-	case IterLimit:
-		return &Solution{Status: IterLimit, Iterations: t.iters}, nil
+	case Unbounded, IterLimit, Canceled:
+		return &Solution{Status: st, Iterations: t.iters}, nil
 	}
 	x := t.extract()
 	obj := 0.0

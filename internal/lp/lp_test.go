@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -433,5 +434,43 @@ func TestSolveDeterministic(t *testing.T) {
 	s2 := solveOrDie(t, build())
 	if s1.Status != s2.Status || s1.Iterations != s2.Iterations || !almostEq(s1.Objective, s2.Objective, 1e-12) {
 		t.Fatalf("non-deterministic solve: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestSolveContextCanceled: a canceled context interrupts the pivot
+// loop with a Canceled status instead of spinning to optimality.
+func TestSolveContextCanceled(t *testing.T) {
+	p := NewProblem(Minimize)
+	n := 40
+	vars := make([]Var, n)
+	for j := range vars {
+		vars[j] = p.AddVariable("x", 0, Inf, 1+float64(j%7))
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2*n; i++ {
+		var terms []Term
+		for j := range vars {
+			if rng.Intn(3) == 0 {
+				terms = append(terms, Term{Var: vars[j], Coef: 1 + rng.Float64()})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.AddConstraint(GE, 1+rng.Float64()*5, terms...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := p.SolveContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Canceled {
+		t.Fatalf("status %v, want Canceled", sol.Status)
+	}
+	// And the background context still solves to optimality.
+	opt, err := p.SolveContext(context.Background())
+	if err != nil || opt.Status != Optimal {
+		t.Fatalf("background solve: %v %+v", err, opt)
 	}
 }

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Numerical tolerances. The paper's instances are small and well scaled
 // (unit costs, traffic volumes normalized by the generator), so fixed
@@ -41,6 +44,7 @@ type tableau struct {
 
 	iters   int
 	maxIter int
+	ctx     context.Context // nil means never canceled
 
 	// bland activates Bland's anti-cycling rule after a run of
 	// degenerate pivots.
@@ -157,7 +161,7 @@ func (tb *tableau) phase1() Status {
 		c[j] = 1
 	}
 	st := tb.optimize(c)
-	if st == IterLimit {
+	if st == IterLimit || st == Canceled {
 		return st
 	}
 	// Phase-1 objective = sum of artificial values.
@@ -226,6 +230,11 @@ func (tb *tableau) optimize(c []float64) Status {
 	for {
 		if tb.iters >= tb.maxIter {
 			return IterLimit
+		}
+		// Poll the context every 64 pivots: cheap against the O(m·n)
+		// pricing work of each iteration, responsive enough for deadlines.
+		if tb.iters&63 == 0 && tb.ctx != nil && tb.ctx.Err() != nil {
+			return Canceled
 		}
 		tb.iters++
 

@@ -11,6 +11,7 @@ package mip
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -65,6 +66,10 @@ type Status = lp.Status
 
 // Solution is the result of a MIP solve.
 type Solution struct {
+	// Status is lp.Optimal when the incumbent is proven optimal,
+	// lp.IterLimit when the node budget stopped the search, and
+	// lp.Canceled when the context fired; in the latter two cases X
+	// holds the best incumbent found so far (nil when none exists).
 	Status    lp.Status
 	Objective float64
 	// X is indexed by lp.Var; integer variables are exactly integral
@@ -72,6 +77,9 @@ type Solution struct {
 	X []float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
+	// Pivots is the total simplex iterations across all node
+	// relaxations.
+	Pivots int
 	// Bound is the best proven bound on the optimum (equals Objective
 	// at optimality, tighter than Objective only on early stop).
 	Bound float64
@@ -166,6 +174,14 @@ var ErrNoVariables = errors.New("mip: problem has no variables")
 // Solve runs branch and bound and returns the best integer-feasible
 // solution found together with its optimality status.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveContext(context.Background())
+}
+
+// SolveContext runs branch and bound under a context. When ctx fires
+// mid-search the best incumbent found so far is returned with
+// Status = lp.Canceled instead of being discarded, so deadline-bounded
+// callers still receive a feasible (if unproven) solution.
+func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 	if p.lp.NumVariables() == 0 {
 		return nil, ErrNoVariables
 	}
@@ -205,8 +221,14 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	var incumbent []float64
 	incObj := worst
-	bestBound := worst
+	bestBound := -worst // trivial bound until the root relaxation solves
 	nodes := 0
+	pivots := 0
+	// interrupted records why the search stopped before exhausting the
+	// tree: lp.Canceled (context fired) or lp.IterLimit (a node
+	// relaxation ran out of simplex iterations). lp.Optimal means no
+	// interruption.
+	interrupted := lp.Optimal
 
 	if opts.Incumbent != nil {
 		if obj, ok := p.evaluateIncumbent(opts.Incumbent); ok {
@@ -220,6 +242,10 @@ func (p *Problem) Solve() (*Solution, error) {
 
 	for q.Len() > 0 {
 		if nodes >= opts.MaxNodes {
+			break
+		}
+		if ctx.Err() != nil {
+			interrupted = lp.Canceled
 			break
 		}
 		nd := heap.Pop(q).(*node)
@@ -237,9 +263,18 @@ func (p *Problem) Solve() (*Solution, error) {
 			p.lp.SetBounds(v, b[0], b[1])
 		}
 
-		sol, err := p.lp.Solve()
+		sol, err := p.lp.SolveContext(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("mip: node relaxation: %w", err)
+		}
+		pivots += sol.Iterations
+		if sol.Status == lp.Canceled || sol.Status == lp.IterLimit {
+			// The node's subtree was not explored: push it back so its
+			// relaxation stays part of the reported open bound, and keep
+			// whatever incumbent exists instead of discarding it.
+			interrupted = sol.Status
+			heap.Push(q, nd)
+			break
 		}
 		switch sol.Status {
 		case lp.Infeasible:
@@ -248,11 +283,9 @@ func (p *Problem) Solve() (*Solution, error) {
 			// An unbounded relaxation at the root means the MIP is
 			// unbounded or needs bounds we cannot infer.
 			if nd.depth == 0 {
-				return &Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+				return &Solution{Status: lp.Unbounded, Nodes: nodes, Pivots: pivots}, nil
 			}
 			continue
-		case lp.IterLimit:
-			return &Solution{Status: lp.IterLimit, Nodes: nodes}, nil
 		}
 		if nd.depth == 0 {
 			bestBound = sol.Objective
@@ -285,18 +318,47 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 	}
 
+	// On an early stop the best-first queue's top relaxation is the best
+	// still-open bound; combine it with the proven root bound, and never
+	// claim a bound beyond the incumbent's own value.
+	if q.Len() > 0 {
+		open := q.items[0].relax
+		if better(bestBound, open) {
+			bestBound = open
+		}
+		if incumbent != nil && better(incObj, bestBound) {
+			bestBound = incObj
+		}
+	}
 	if incumbent == nil {
 		st := lp.Infeasible
-		if nodes >= opts.MaxNodes {
+		switch {
+		case interrupted != lp.Optimal:
+			st = interrupted
+		case nodes >= opts.MaxNodes:
 			st = lp.IterLimit
 		}
-		return &Solution{Status: st, Nodes: nodes}, nil
+		return &Solution{Status: st, Nodes: nodes, Pivots: pivots}, nil
 	}
 	st := lp.Optimal
-	if q.Len() > 0 && nodes >= opts.MaxNodes {
+	switch {
+	case interrupted != lp.Optimal:
+		// Even with an empty queue the interrupted node may hide better
+		// solutions, so an interrupted search never claims optimality.
+		st = interrupted
+	case q.Len() > 0 && nodes >= opts.MaxNodes:
 		st = lp.IterLimit
+	default:
+		// The tree is exhausted: the incumbent is optimal within the
+		// pruning gap, so with a caller-set gap the proven bound is
+		// incObj − Gap (minimize). Under the near-zero conservative
+		// default this is optimality proper and Bound = Objective.
+		bestBound = incObj
+		if p.opts.Gap > 0 {
+			bestBound = incObj + pruneSlack(p.sense, p.opts.Gap)
+		}
 	}
-	return &Solution{Status: st, Objective: incObj, X: incumbent, Nodes: nodes, Bound: bestBound}, nil
+	return &Solution{Status: st, Objective: incObj, X: incumbent, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
 }
 
 // evaluateIncumbent validates a warm-start solution: feasible for the

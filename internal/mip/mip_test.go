@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -380,5 +381,56 @@ func TestWarmStartAgreesWithCold(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSolveContextCanceledKeepsIncumbent: a canceled context stops the
+// search but returns the warm-start incumbent with Status Canceled.
+func TestSolveContextCanceledKeepsIncumbent(t *testing.T) {
+	p := NewProblem(lp.Minimize)
+	n := 12
+	vars := make([]lp.Var, n)
+	for j := range vars {
+		vars[j] = p.AddBinaryVariable("x", 1)
+	}
+	for i := 0; i < n; i++ {
+		p.AddConstraint(lp.GE, 1, tm(vars[i], 1), tm(vars[(i+1)%n], 1))
+	}
+	all := make([]float64, n)
+	for j := range all {
+		all[j] = 1
+	}
+	p.SetOptions(Options{Incumbent: all})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := p.SolveContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Canceled {
+		t.Fatalf("status %v, want Canceled", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("incumbent discarded on cancellation")
+	}
+	if sol.Objective != float64(n) {
+		t.Fatalf("objective %g, want the warm start %d", sol.Objective, n)
+	}
+
+	// The same problem without cancellation is solved to optimality and
+	// reports effort counters.
+	opt, err := p.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Status != lp.Optimal || opt.Objective > sol.Objective {
+		t.Fatalf("optimal solve: %+v", opt)
+	}
+	if opt.Pivots == 0 || opt.Nodes == 0 {
+		t.Fatalf("missing effort counters: %+v", opt)
+	}
+	if opt.Bound != opt.Objective {
+		t.Fatalf("bound %g != objective %g at optimality", opt.Bound, opt.Objective)
 	}
 }

@@ -1,6 +1,7 @@
 package passive
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,28 +37,33 @@ type ILPOptions struct {
 	Budget int
 	// MaxNodes caps branch-and-bound nodes (0 = solver default).
 	MaxNodes int
+	// Gap is the absolute optimality gap for branch-and-bound pruning
+	// (0 = solver default, effectively prove to optimality).
+	Gap float64
 }
 
 // SolveILP solves PPM(k) exactly with the paper's MIP formulation (the
 // "ILP" curves of Figures 7 and 8, solved by CPLEX in the paper and by
 // internal/mip here). It returns an error when the model is infeasible
-// (possible only with a Budget) or the node budget is exhausted.
-func SolveILP(in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
+// (possible only with a Budget); cancelling ctx or exhausting the node
+// budget returns the best incumbent found so far with Exact = false
+// (the greedy warm start guarantees one always exists).
+func SolveILP(ctx context.Context, in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
 	checkK(k)
 	if err := in.Validate(); err != nil {
 		return Placement{}, err
 	}
 	switch opts.Formulation {
 	case LP2:
-		return solveLP2(in, k, opts)
+		return solveLP2(ctx, in, k, opts)
 	case LP1:
-		return solveLP1(in, k, opts)
+		return solveLP1(ctx, in, k, opts)
 	}
 	return Placement{}, fmt.Errorf("passive: unknown formulation %d", opts.Formulation)
 }
 
 // solveLP2 builds Linear program 2 of §4.3.
-func solveLP2(in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
+func solveLP2(ctx context.Context, in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
 	p := mip.NewProblem(lp.Minimize)
 	m := in.G.NumEdges()
 
@@ -90,7 +96,7 @@ func solveLP2(in *core.Instance, k float64, opts ILPOptions) (Placement, error) 
 	applyCommonILP(p, xs, opts)
 	p.SetOptions(mipOptions(opts, lp2Incumbent(in, k, opts, p.NumVariables(), xs, ds)))
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return Placement{}, err
 	}
@@ -126,14 +132,15 @@ func lp2Incumbent(in *core.Instance, k float64, opts ILPOptions, nVars int, xs, 
 	return x
 }
 
-// mipOptions combines the caller's node budget with a warm start.
+// mipOptions combines the caller's node budget and gap with a warm
+// start.
 func mipOptions(opts ILPOptions, incumbent []float64) mip.Options {
-	return mip.Options{MaxNodes: opts.MaxNodes, Incumbent: incumbent}
+	return mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap, Incumbent: incumbent}
 }
 
 // solveLP1 builds Linear program 1 of §4.3: the arc-path form with flow
 // variables f_t^e for every (edge, traffic) adjacency of the MECF graph.
-func solveLP1(in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
+func solveLP1(ctx context.Context, in *core.Instance, k float64, opts ILPOptions) (Placement, error) {
 	p := mip.NewProblem(lp.Minimize)
 	m := in.G.NumEdges()
 	onEdge := in.TrafficsOnEdge()
@@ -209,7 +216,7 @@ func solveLP1(in *core.Instance, k float64, opts ILPOptions) (Placement, error) 
 	}
 	p.SetOptions(mipOptions(opts, inc))
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return Placement{}, err
 	}
@@ -232,8 +239,16 @@ func applyCommonILP(p *mip.Problem, xs []lp.Var, opts ILPOptions) {
 }
 
 func ilpPlacement(in *core.Instance, xs []lp.Var, sol *mip.Solution, method string) (Placement, error) {
+	exact := false
 	switch sol.Status {
 	case lp.Optimal:
+		exact = true
+	case lp.Canceled, lp.IterLimit:
+		// Early stop: report the incumbent as a heuristic result when
+		// one exists (the greedy warm start normally guarantees it).
+		if sol.X == nil {
+			return Placement{}, fmt.Errorf("passive: %s: solver stopped with status %v and no incumbent", method, sol.Status)
+		}
 	case lp.Infeasible:
 		return Placement{}, fmt.Errorf("passive: %s: model infeasible (budget too small?)", method)
 	default:
@@ -245,7 +260,8 @@ func ilpPlacement(in *core.Instance, xs []lp.Var, sol *mip.Solution, method stri
 			edges = append(edges, graph.EdgeID(e))
 		}
 	}
-	pl := finish(in, edges, true, method)
+	pl := finish(in, edges, exact, method)
+	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
 	return pl, nil
 }
 
@@ -253,7 +269,7 @@ func ilpPlacement(in *core.Instance, xs []lp.Var, sol *mip.Solution, method stri
 // at most `budget` devices (plus the already Installed ones), place them
 // to maximize the monitored volume. This answers the paper's "estimate
 // the expected gain in buying one or a set of new devices".
-func MaxCoverage(in *core.Instance, budget int, installed []graph.EdgeID) (Placement, error) {
+func MaxCoverage(ctx context.Context, in *core.Instance, budget int, installed []graph.EdgeID) (Placement, error) {
 	if budget < 0 {
 		return Placement{}, fmt.Errorf("passive: negative budget %d", budget)
 	}
@@ -339,7 +355,7 @@ func MaxCoverage(in *core.Instance, budget int, installed []graph.EdgeID) (Place
 	}
 	p.SetOptions(mip.Options{Incumbent: inc})
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return Placement{}, err
 	}

@@ -19,6 +19,7 @@
 package passive
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,10 +36,15 @@ type Placement struct {
 	// link; Fraction is Covered divided by the instance volume.
 	Covered  float64
 	Fraction float64
-	// Exact is true when the placement is provably optimal.
+	// Exact is true when the placement is provably optimal; a canceled
+	// or node-capped exact solve reports its incumbent with Exact =
+	// false.
 	Exact bool
 	// Method names the algorithm that produced the placement.
 	Method string
+	// Stats carries the solver effort counters (zero for pure
+	// heuristics).
+	Stats core.SolveStats
 }
 
 // Devices returns the number of tap devices in the placement (the
@@ -140,15 +146,18 @@ func GreedyGain(in *core.Instance, k float64) Placement {
 // ExactCover solves PPM(k) exactly through the set-cover equivalence of
 // Theorem 1 using combinatorial branch and bound. On the paper's
 // instance sizes it returns the same optima as the MIP while scaling to
-// the 1980-traffic instance of Figure 8.
-func ExactCover(in *core.Instance, k float64, opts cover.ExactOptions) Placement {
+// the 1980-traffic instance of Figure 8. Cancelling ctx mid-search
+// returns the best incumbent found so far with Exact = false.
+func ExactCover(ctx context.Context, in *core.Instance, k float64, opts cover.ExactOptions) Placement {
 	checkK(k)
 	ci := toCover(in)
-	res := cover.Exact(ci, k*in.TotalVolume(), opts)
+	res := cover.Exact(ctx, ci, k*in.TotalVolume(), opts)
 	if !res.Feasible {
 		panic("passive: exact search found valid instance infeasible")
 	}
-	return finish(in, edgeIDs(res.Chosen), res.Exact, "exact-cover")
+	pl := finish(in, edgeIDs(res.Chosen), res.Exact, "exact-cover")
+	pl.Stats.Nodes = res.Nodes
+	return pl
 }
 
 // toCover converts a PPM instance into the set-cover view of Theorem 1:

@@ -1,6 +1,7 @@
 package passive
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -65,7 +66,7 @@ func TestFigure3GreedyTrap(t *testing.T) {
 	if g.Devices() != 3 {
 		t.Fatalf("greedy-load devices = %d, want 3 (the paper's trap)", g.Devices())
 	}
-	opt, err := SolveILP(in, 1, ILPOptions{})
+	opt, err := SolveILP(context.Background(), in, 1, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFigure3GreedyTrap(t *testing.T) {
 	if opt.Fraction < 1-1e-9 {
 		t.Fatalf("ILP coverage %g < 1", opt.Fraction)
 	}
-	ex := ExactCover(in, 1, cover.ExactOptions{})
+	ex := ExactCover(context.Background(), in, 1, cover.ExactOptions{})
 	if ex.Devices() != 2 || !ex.Exact {
 		t.Fatalf("exact-cover devices = %d exact=%v, want 2", ex.Devices(), ex.Exact)
 	}
@@ -129,17 +130,17 @@ func TestSolversAgreeProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		in := smallInstance(seed)
 		for _, k := range []float64{0.75, 0.9, 1.0} {
-			opt2, err := SolveILP(in, k, ILPOptions{Formulation: LP2})
+			opt2, err := SolveILP(context.Background(), in, k, ILPOptions{Formulation: LP2})
 			if err != nil {
 				t.Logf("seed %d k=%g: LP2: %v", seed, k, err)
 				return false
 			}
-			opt1, err := SolveILP(in, k, ILPOptions{Formulation: LP1})
+			opt1, err := SolveILP(context.Background(), in, k, ILPOptions{Formulation: LP1})
 			if err != nil {
 				t.Logf("seed %d k=%g: LP1: %v", seed, k, err)
 				return false
 			}
-			ex := ExactCover(in, k, cover.ExactOptions{})
+			ex := ExactCover(context.Background(), in, k, cover.ExactOptions{})
 			if opt1.Devices() != opt2.Devices() || ex.Devices() != opt2.Devices() {
 				t.Logf("seed %d k=%g: LP1=%d LP2=%d cover=%d", seed, k, opt1.Devices(), opt2.Devices(), ex.Devices())
 				return false
@@ -168,7 +169,7 @@ func TestSolversAgreeProperty(t *testing.T) {
 
 func TestIncrementalPlacement(t *testing.T) {
 	in := smallInstance(77)
-	base, err := SolveILP(in, 0.9, ILPOptions{})
+	base, err := SolveILP(context.Background(), in, 0.9, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestIncrementalPlacement(t *testing.T) {
 			worst = graph.EdgeID(e)
 		}
 	}
-	inc, err := SolveILP(in, 0.9, ILPOptions{Installed: []graph.EdgeID{worst}})
+	inc, err := SolveILP(context.Background(), in, 0.9, ILPOptions{Installed: []graph.EdgeID{worst}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,12 +204,12 @@ func TestIncrementalPlacement(t *testing.T) {
 
 func TestBudgetVariant(t *testing.T) {
 	in := smallInstance(78)
-	opt, err := SolveILP(in, 0.9, ILPOptions{})
+	opt, err := SolveILP(context.Background(), in, 0.9, ILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Budget exactly at the optimum: feasible, same count.
-	b, err := SolveILP(in, 0.9, ILPOptions{Budget: opt.Devices()})
+	b, err := SolveILP(context.Background(), in, 0.9, ILPOptions{Budget: opt.Devices()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestBudgetVariant(t *testing.T) {
 	}
 	// One below the optimum: must be infeasible.
 	if opt.Devices() > 1 {
-		if _, err := SolveILP(in, 0.9, ILPOptions{Budget: opt.Devices() - 1}); err == nil {
+		if _, err := SolveILP(context.Background(), in, 0.9, ILPOptions{Budget: opt.Devices() - 1}); err == nil {
 			t.Fatal("budget below optimum should be infeasible")
 		}
 	}
@@ -227,7 +228,7 @@ func TestMaxCoverage(t *testing.T) {
 	in := smallInstance(79)
 	prev := -1.0
 	for _, budget := range []int{0, 1, 2, 4} {
-		pl, err := MaxCoverage(in, budget, nil)
+		pl, err := MaxCoverage(context.Background(), in, budget, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -239,16 +240,16 @@ func TestMaxCoverage(t *testing.T) {
 		}
 		prev = pl.Covered
 	}
-	if _, err := MaxCoverage(in, -1, nil); err == nil {
+	if _, err := MaxCoverage(context.Background(), in, -1, nil); err == nil {
 		t.Fatal("negative budget accepted")
 	}
 	// The expected-gain question of §4.3: marginal gain of one more
 	// device on top of an installed base must be non-negative.
-	first, err := MaxCoverage(in, 1, nil)
+	first, err := MaxCoverage(context.Background(), in, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := MaxCoverage(in, 1, first.Edges)
+	second, err := MaxCoverage(context.Background(), in, 1, first.Edges)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestMaxCoverage(t *testing.T) {
 
 func TestMaxCoverageFullBudget(t *testing.T) {
 	in := smallInstance(80)
-	pl, err := MaxCoverage(in, in.G.NumEdges(), nil)
+	pl, err := MaxCoverage(context.Background(), in, in.G.NumEdges(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,14 +293,14 @@ func TestPlacementSortedEdges(t *testing.T) {
 func TestRandomizedRoundingFeasible(t *testing.T) {
 	in := smallInstance(91)
 	for _, k := range []float64{0.8, 0.95, 1.0} {
-		pl, err := RandomizedRounding(in, k, 7)
+		pl, err := RandomizedRounding(context.Background(), in, k, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if pl.Fraction < k-1e-9 {
 			t.Fatalf("k=%g: coverage %g infeasible", k, pl.Fraction)
 		}
-		opt := ExactCover(in, k, cover.ExactOptions{})
+		opt := ExactCover(context.Background(), in, k, cover.ExactOptions{})
 		if pl.Devices() < opt.Devices() {
 			t.Fatalf("k=%g: rounding %d beat the optimum %d", k, pl.Devices(), opt.Devices())
 		}
@@ -310,10 +311,10 @@ func TestRandomizedRoundingWithinLogFactor(t *testing.T) {
 	// Property over seeds: the rounded solution stays within the
 	// covering-LP guarantee (generous constant) of the optimum.
 	in := smallInstance(92)
-	opt := ExactCover(in, 0.9, cover.ExactOptions{})
+	opt := ExactCover(context.Background(), in, 0.9, cover.ExactOptions{})
 	bound := float64(opt.Devices())*math.Log(float64(len(in.Traffics))+2)*2 + 2
 	for seed := int64(0); seed < 8; seed++ {
-		pl, err := RandomizedRounding(in, 0.9, seed)
+		pl, err := RandomizedRounding(context.Background(), in, 0.9, seed)
 		if err != nil {
 			t.Fatal(err)
 		}

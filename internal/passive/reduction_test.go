@@ -1,6 +1,7 @@
 package passive
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -53,7 +54,7 @@ func TestTheorem1GadgetSmall(t *testing.T) {
 	if err := in.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	pl := ExactCover(in, 1, cover.ExactOptions{})
+	pl := ExactCover(context.Background(), in, 1, cover.ExactOptions{})
 	if !pl.Exact {
 		t.Fatal("gadget not solved to optimality")
 	}
@@ -109,7 +110,7 @@ func TestTheorem1Equivalence(t *testing.T) {
 			t.Logf("seed %d: %v", seed, err)
 			return false
 		}
-		pl := ExactCover(in, 1, cover.ExactOptions{})
+		pl := ExactCover(context.Background(), in, 1, cover.ExactOptions{})
 		if !pl.Exact {
 			t.Logf("seed %d: not exact", seed)
 			return false
@@ -162,8 +163,8 @@ func TestToSetCoverConsistency(t *testing.T) {
 	if err := ci.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := cover.Exact(ci, ci.TotalWeight(), cover.ExactOptions{})
-	pl := ExactCover(in, 1, cover.ExactOptions{})
+	res := cover.Exact(context.Background(), ci, ci.TotalWeight(), cover.ExactOptions{})
+	pl := ExactCover(context.Background(), in, 1, cover.ExactOptions{})
 	if len(res.Chosen) != pl.Devices() {
 		t.Fatalf("set-cover optimum %d != PPM(1) optimum %d", len(res.Chosen), pl.Devices())
 	}

@@ -1,6 +1,7 @@
 package passive
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -17,12 +18,12 @@ import (
 // met; a reverse-delete pass prunes redundant devices. The result is a
 // feasible placement whose expected size is within O(log) of the LP
 // optimum, per the classical covering-LP rounding argument.
-func RandomizedRounding(in *core.Instance, k float64, seed int64) (Placement, error) {
+func RandomizedRounding(ctx context.Context, in *core.Instance, k float64, seed int64) (Placement, error) {
 	checkK(k)
 	if err := in.Validate(); err != nil {
 		return Placement{}, err
 	}
-	frac, err := lp2Relaxation(in, k)
+	frac, err := lp2Relaxation(ctx, in, k)
 	if err != nil {
 		return Placement{}, err
 	}
@@ -64,7 +65,7 @@ func RandomizedRounding(in *core.Instance, k float64, seed int64) (Placement, er
 
 // lp2Relaxation solves the continuous relaxation of Linear program 2
 // and returns the fractional x̄ per edge.
-func lp2Relaxation(in *core.Instance, k float64) ([]float64, error) {
+func lp2Relaxation(ctx context.Context, in *core.Instance, k float64) ([]float64, error) {
 	p := lp.NewProblem(lp.Minimize)
 	m := in.G.NumEdges()
 	xs := make([]lp.Var, m)
@@ -89,7 +90,7 @@ func lp2Relaxation(in *core.Instance, k float64) ([]float64, error) {
 	}
 	p.AddConstraint(lp.GE, k*in.TotalVolume(), cov...)
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -85,7 +86,7 @@ func TestCampaignProperty(t *testing.T) {
 
 func TestCampaignWithSolvedRates(t *testing.T) {
 	in := multiInstance(22, 3)
-	sol, err := Solve(in, Config{K: 0.75})
+	sol, err := Solve(context.Background(), in, Config{K: 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -34,7 +35,7 @@ type Controller struct {
 // NewController builds a controller from an initial instance: it solves
 // PPME*(installed, h, k) once to set the starting rates. threshold is
 // the paper's T and must satisfy 0 < T ≤ cfg.K.
-func NewController(in *core.MultiInstance, installed []graph.EdgeID, cfg Config, threshold float64) (*Controller, error) {
+func NewController(ctx context.Context, in *core.MultiInstance, installed []graph.EdgeID, cfg Config, threshold float64) (*Controller, error) {
 	if threshold <= 0 || threshold > cfg.K {
 		return nil, fmt.Errorf("sampling: threshold %g outside (0, k=%g]", threshold, cfg.K)
 	}
@@ -43,7 +44,7 @@ func NewController(in *core.MultiInstance, installed []graph.EdgeID, cfg Config,
 		cfg:       cfg,
 		threshold: threshold,
 	}
-	if err := c.reoptimize(in); err != nil {
+	if err := c.reoptimize(ctx, in); err != nil {
 		return nil, err
 	}
 	c.Recomputes = 0 // the initial solve is setup, not an adaptation
@@ -87,20 +88,20 @@ func (c *Controller) AchievedFraction(in *core.MultiInstance) float64 {
 // otherwise it re-optimizes the rates with PPME* and returns true. An
 // error means even full-rate sampling cannot reach k on the drifted
 // traffic (the operator must add devices — back to PPME).
-func (c *Controller) Observe(in *core.MultiInstance) (recomputed bool, err error) {
+func (c *Controller) Observe(ctx context.Context, in *core.MultiInstance) (recomputed bool, err error) {
 	c.Observations++
 	if c.AchievedFraction(in) >= c.threshold-1e-12 {
 		return false, nil
 	}
-	if err := c.reoptimize(in); err != nil {
+	if err := c.reoptimize(ctx, in); err != nil {
 		return false, err
 	}
 	c.Recomputes++
 	return true, nil
 }
 
-func (c *Controller) reoptimize(in *core.MultiInstance) error {
-	sol, err := SolveRates(in, c.installed, c.cfg)
+func (c *Controller) reoptimize(ctx context.Context, in *core.MultiInstance) error {
+	sol, err := SolveRates(ctx, in, c.installed, c.cfg)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -28,7 +29,7 @@ func TestControllerWaitsWhileAboveThreshold(t *testing.T) {
 	// Install on every edge so any k is reachable.
 	installed := everyEdge(mi)
 	cfg := Config{K: 0.9}
-	c, err := NewController(mi, installed, cfg, 0.85)
+	c, err := NewController(context.Background(), mi, installed, cfg, 0.85)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestControllerWaitsWhileAboveThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := c.Observe(mi2)
+	re, err := c.Observe(context.Background(), mi2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestControllerRecomputesOnDrift(t *testing.T) {
 	pop, demands, mi, _ := driftSetup(t, 2)
 	installed := everyEdge(mi)
 	cfg := Config{K: 0.9}
-	c, err := NewController(mi, installed, cfg, 0.895)
+	c, err := NewController(context.Background(), mi, installed, cfg, 0.895)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestControllerRecomputesOnDrift(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		recomputed, err = c.Observe(drifted)
+		recomputed, err = c.Observe(context.Background(), drifted)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -87,17 +88,17 @@ func TestControllerRecomputesOnDrift(t *testing.T) {
 
 func TestControllerBadThreshold(t *testing.T) {
 	_, _, mi, _ := driftSetup(t, 3)
-	if _, err := NewController(mi, everyEdge(mi), Config{K: 0.9}, 0.95); err == nil {
+	if _, err := NewController(context.Background(), mi, everyEdge(mi), Config{K: 0.9}, 0.95); err == nil {
 		t.Fatal("threshold above k accepted")
 	}
-	if _, err := NewController(mi, everyEdge(mi), Config{K: 0.9}, 0); err == nil {
+	if _, err := NewController(context.Background(), mi, everyEdge(mi), Config{K: 0.9}, 0); err == nil {
 		t.Fatal("zero threshold accepted")
 	}
 }
 
 func TestControllerRatesCopied(t *testing.T) {
 	_, _, mi, _ := driftSetup(t, 4)
-	c, err := NewController(mi, everyEdge(mi), Config{K: 0.8}, 0.7)
+	c, err := NewController(context.Background(), mi, everyEdge(mi), Config{K: 0.8}, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}

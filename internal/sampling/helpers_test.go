@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -12,7 +13,7 @@ import (
 // package (no import cycle: passive does not depend on sampling).
 func passiveOptimum(t *testing.T, in *core.Instance, k float64) int {
 	t.Helper()
-	pl := passive.ExactCover(in, k, cover.ExactOptions{})
+	pl := passive.ExactCover(context.Background(), in, k, cover.ExactOptions{})
 	if !pl.Exact {
 		t.Fatal("passive optimum not proven")
 	}

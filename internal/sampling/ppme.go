@@ -12,6 +12,7 @@
 package sampling
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,6 +68,9 @@ type Config struct {
 	Costs CostModel
 	// MaxNodes caps the MILP branch-and-bound (0 = default).
 	MaxNodes int
+	// Gap is the absolute optimality gap for branch-and-bound pruning
+	// (0 = solver default).
+	Gap float64
 }
 
 func (cfg Config) validate(in *core.MultiInstance) error {
@@ -104,8 +108,11 @@ type Solution struct {
 	// the total volume.
 	Covered, Fraction float64
 	// Exact is true when the MILP solved to optimality (always true for
-	// the LP-based PPME*).
+	// the LP-based PPME*); a canceled or node-capped solve reports its
+	// incumbent with Exact = false.
 	Exact bool
+	// Stats carries the solver effort counters.
+	Stats core.SolveStats
 }
 
 // Devices returns the number of installed devices.
@@ -117,8 +124,10 @@ func (s *Solution) Rate(e graph.EdgeID) float64 { return s.Rates[e] }
 // Solve solves PPME(h,k) — Linear program 3 of §5.3 — exactly: which
 // links get a sampling-capable device and at which ratio, minimizing
 // setup plus exploitation cost subject to the per-traffic floors h and
-// the global floor k.
-func Solve(in *core.MultiInstance, cfg Config) (*Solution, error) {
+// the global floor k. Cancelling ctx mid-solve returns the best
+// incumbent found so far with Exact = false (the full-rate warm start
+// guarantees one exists).
+func Solve(ctx context.Context, in *core.MultiInstance, cfg Config) (*Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,15 +164,25 @@ func Solve(in *core.MultiInstance, cfg Config) (*Solution, error) {
 	for pi := range paths {
 		inc[ds[pi]] = 1
 	}
-	p.SetOptions(mip.Options{MaxNodes: cfg.MaxNodes, Incumbent: inc})
-	sol, err := p.Solve()
+	p.SetOptions(mip.Options{MaxNodes: cfg.MaxNodes, Gap: cfg.Gap, Incumbent: inc})
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if sol.Status != lp.Optimal {
+	exact := true
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Canceled, lp.IterLimit:
+		if sol.X == nil {
+			return nil, fmt.Errorf("sampling: PPME solve ended with status %v and no incumbent", sol.Status)
+		}
+		exact = false
+	default:
 		return nil, fmt.Errorf("sampling: PPME solve ended with status %v", sol.Status)
 	}
-	return extract(in, paths, cfg, costs, xs, rs, ds, sol.X, true), nil
+	out := extract(in, paths, cfg, costs, xs, rs, ds, sol.X, exact)
+	out.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
+	return out, nil
 }
 
 // constraintAdder matches both lp.Problem.AddConstraint and
@@ -268,7 +287,7 @@ func extract(in *core.MultiInstance, paths []core.FlatPath, cfg Config, costs Co
 // operation the paper's dynamic-traffic strategy performs on every
 // threshold crossing. It returns an error when the installed devices
 // cannot reach the floors even at full rate.
-func SolveRates(in *core.MultiInstance, installed []graph.EdgeID, cfg Config) (*Solution, error) {
+func SolveRates(ctx context.Context, in *core.MultiInstance, installed []graph.EdgeID, cfg Config) (*Solution, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -300,7 +319,7 @@ func SolveRates(in *core.MultiInstance, installed []graph.EdgeID, cfg Config) (*
 	}
 	buildRows(p.AddConstraint, in, paths, cfg, nil, rs, ds)
 
-	sol, err := p.Solve()
+	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +331,7 @@ func SolveRates(in *core.MultiInstance, installed []graph.EdgeID, cfg Config) (*
 		return nil, fmt.Errorf("sampling: PPME* solve ended with status %v", sol.Status)
 	}
 	out := extract(in, paths, cfg, costs, nil, rs, ds, sol.X, true)
+	out.Stats.Pivots = sol.Iterations
 	// The installed set is an input for PPME*: report it as-is, with
 	// explicit zero rates for devices the optimum leaves idle, and count
 	// setup cost as sunk (only exploitation spending is reported).

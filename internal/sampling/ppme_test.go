@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -59,7 +60,7 @@ func checkFeasible(t *testing.T, in *core.MultiInstance, s *Solution, cfg Config
 func TestSolveBasic(t *testing.T) {
 	in := multiInstance(1, 2)
 	cfg := Config{K: 0.9}
-	s, err := Solve(in, cfg)
+	s, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestSolveWithPerTrafficFloors(t *testing.T) {
 		h[i] = 0.5
 	}
 	cfg := Config{K: 0.8, H: h}
-	s, err := Solve(in, cfg)
+	s, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestSolveWithPerTrafficFloors(t *testing.T) {
 
 func TestSolveFloorsRaiseCost(t *testing.T) {
 	in := multiInstance(3, 2)
-	base, err := Solve(in, Config{K: 0.8})
+	base, err := Solve(context.Background(), in, Config{K: 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSolveFloorsRaiseCost(t *testing.T) {
 	for i := range h {
 		h[i] = 0.8
 	}
-	floored, err := Solve(in, Config{K: 0.8, H: h})
+	floored, err := Solve(context.Background(), in, Config{K: 0.8, H: h})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestSolveConfigValidation(t *testing.T) {
 		"h above k":  {K: 0.5, H: mkH(len(in.Traffics), 0.9)},
 		"h negative": {K: 0.9, H: mkH(len(in.Traffics), -0.1)},
 	} {
-		if _, err := Solve(in, cfg); err == nil {
+		if _, err := Solve(context.Background(), in, cfg); err == nil {
 			t.Errorf("%s: want error", name)
 		}
 	}
@@ -134,13 +135,13 @@ func mkH(n int, v float64) []float64 {
 func TestSolveRatesMatchesFixedPlacement(t *testing.T) {
 	in := multiInstance(5, 2)
 	cfg := Config{K: 0.85}
-	full, err := Solve(in, cfg)
+	full, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Re-optimizing rates on the placement PPME chose must not cost
 	// more (exploitation-wise) than the PPME solution itself.
-	rates, err := SolveRates(in, full.Edges, cfg)
+	rates, err := SolveRates(context.Background(), in, full.Edges, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestSolveRatesInfeasibleWhenStarved(t *testing.T) {
 	if MaxAchievable(in, few) > 0.99 {
 		t.Skip("degenerate topology: one edge covers everything")
 	}
-	if _, err := SolveRates(in, few, Config{K: 0.999}); err == nil {
+	if _, err := SolveRates(context.Background(), in, few, Config{K: 0.999}); err == nil {
 		t.Fatal("want infeasibility error")
 	}
 }
@@ -190,7 +191,7 @@ func TestSolveMonotoneInK(t *testing.T) {
 		prev := 0.0
 		for _, k := range []float64{0.5, 0.75, 0.95} {
 			cfg := Config{K: k}
-			s, err := Solve(in, cfg)
+			s, err := Solve(context.Background(), in, cfg)
 			if err != nil {
 				t.Logf("seed %d k=%g: %v", seed, k, err)
 				return false
@@ -221,7 +222,7 @@ func TestPPMEDegeneratesToPPM(t *testing.T) {
 			Exploit: func(graph.Edge) float64 { return 0 },
 		},
 	}
-	s, err := Solve(in, cfg)
+	s, err := Solve(context.Background(), in, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestSolveRatesFlowFeasibleAndCheap(t *testing.T) {
 	in := multiInstance(31, 2)
 	installed := everyEdge(in)
 	cfg := Config{K: 0.9}
-	lpSol, err := SolveRates(in, installed, cfg)
+	lpSol, err := SolveRates(context.Background(), in, installed, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -74,7 +75,7 @@ func TestMarkedReplayMatchesPromise(t *testing.T) {
 	for e := 0; e < in.G.NumEdges(); e++ {
 		installed = append(installed, graph.EdgeID(e))
 	}
-	sol, err := sampling.SolveRates(in, installed, sampling.Config{K: 0.9})
+	sol, err := sampling.SolveRates(context.Background(), in, installed, sampling.Config{K: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestIndependentNeverBeatsMarkedPromise(t *testing.T) {
 	for e := 0; e < in.G.NumEdges(); e++ {
 		installed = append(installed, graph.EdgeID(e))
 	}
-	sol, err := sampling.SolveRates(in, installed, sampling.Config{K: 0.95})
+	sol, err := sampling.SolveRates(context.Background(), in, installed, sampling.Config{K: 0.95})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,17 +14,22 @@
 // set-cover algorithms and a packet-level validation simulator.
 //
 // This package is the public facade: it re-exports the domain types and
-// wraps the solvers behind small functions, so applications only import
-// "repro". The examples/ directory shows complete programs; DESIGN.md
-// maps every paper section and figure to the implementing module.
+// exposes every algorithm through the context-aware Solver/Result core
+// (see solver.go): solvers are looked up by name in a registry, solves
+// are bounded by context deadlines and report statistics, and a
+// Portfolio races several solvers concurrently. The historical
+// method-enum helpers (PlaceTaps, PlaceBeacons) remain as thin wrappers
+// over the registry. The examples/ directory shows complete programs;
+// DESIGN.md maps every paper section and figure to the implementing
+// module.
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/active"
 	"repro/internal/core"
-	"repro/internal/cover"
 	"repro/internal/graph"
 	"repro/internal/passive"
 	"repro/internal/sampling"
@@ -119,6 +124,10 @@ func RouteMulti(pop *POP, demands []Demand, maxRoutes int) (*MultiInstance, erro
 }
 
 // TapMethod selects a PPM(k) algorithm.
+//
+// Deprecated: the int enum survives for source compatibility only; new
+// code should address solvers by registry name (Solvers lists them) via
+// Solve or LookupSolver.
 type TapMethod int
 
 const (
@@ -155,51 +164,47 @@ func (m TapMethod) String() string {
 
 // PlaceTaps solves PPM(k): select links for tap devices so traffics
 // carrying at least fraction k of the volume cross a tapped link.
-func PlaceTaps(in *Instance, k float64, method TapMethod) (TapPlacement, error) {
-	switch method {
-	case TapGreedyLoad:
-		return passive.GreedyLoad(in, k), nil
-	case TapGreedyGain:
-		return passive.GreedyGain(in, k), nil
-	case TapFlow:
-		return passive.FlowHeuristic(in, k), nil
-	case TapILP:
-		return passive.SolveILP(in, k, ILPOptions{})
-	case TapExact:
-		return passive.ExactCover(in, k, cover.ExactOptions{}), nil
+// It delegates to the registered "tap/<method>" solver.
+//
+// Deprecated: use Solve with a registry name, which also exposes
+// deadlines, budgets and solver statistics.
+func PlaceTaps(ctx context.Context, in *Instance, k float64, method TapMethod) (TapPlacement, error) {
+	res, err := Solve(ctx, "tap/"+method.String(), in, WithCoverage(k))
+	if err != nil {
+		return TapPlacement{}, err
 	}
-	return TapPlacement{}, fmt.Errorf("repro: unknown tap method %d", method)
+	return *res.Taps, nil
 }
 
 // PlaceTapsILP exposes the full MIP options: formulation choice,
 // incremental placement over installed devices, and device budgets
 // (§4.3).
-func PlaceTapsILP(in *Instance, k float64, opts ILPOptions) (TapPlacement, error) {
-	return passive.SolveILP(in, k, opts)
+func PlaceTapsILP(ctx context.Context, in *Instance, k float64, opts ILPOptions) (TapPlacement, error) {
+	return passive.SolveILP(ctx, in, k, opts)
 }
 
 // MaxCoverage places at most budget devices (plus installed ones) to
 // maximize monitored volume — the paper's expected-gain question.
-func MaxCoverage(in *Instance, budget int, installed []EdgeID) (TapPlacement, error) {
-	return passive.MaxCoverage(in, budget, installed)
+func MaxCoverage(ctx context.Context, in *Instance, budget int, installed []EdgeID) (TapPlacement, error) {
+	return passive.MaxCoverage(ctx, in, budget, installed)
 }
 
 // PlaceSamplers solves PPME(h,k) (Linear program 3): device placement
 // plus sampling ratios minimizing setup + exploitation cost (§5.3).
-func PlaceSamplers(in *MultiInstance, cfg SamplingConfig) (*SamplingSolution, error) {
-	return sampling.Solve(in, cfg)
+func PlaceSamplers(ctx context.Context, in *MultiInstance, cfg SamplingConfig) (*SamplingSolution, error) {
+	return sampling.Solve(ctx, in, cfg)
 }
 
 // ReoptimizeRates solves PPME*(x,h,k): placement frozen, rates
 // re-optimized in polynomial time (§5.4).
-func ReoptimizeRates(in *MultiInstance, installed []EdgeID, cfg SamplingConfig) (*SamplingSolution, error) {
-	return sampling.SolveRates(in, installed, cfg)
+func ReoptimizeRates(ctx context.Context, in *MultiInstance, installed []EdgeID, cfg SamplingConfig) (*SamplingSolution, error) {
+	return sampling.SolveRates(ctx, in, installed, cfg)
 }
 
 // NewRateController builds the §5.4 threshold controller (wait below
 // threshold T, recompute PPME* on crossing).
-func NewRateController(in *MultiInstance, installed []EdgeID, cfg SamplingConfig, threshold float64) (*RateController, error) {
-	return sampling.NewController(in, installed, cfg, threshold)
+func NewRateController(ctx context.Context, in *MultiInstance, installed []EdgeID, cfg SamplingConfig, threshold float64) (*RateController, error) {
+	return sampling.NewController(ctx, in, installed, cfg, threshold)
 }
 
 // Samplers (§5.2). N is the sampling period (rate 1/N).
@@ -221,6 +226,10 @@ func ComputeProbes(g *Graph, candidates []NodeID) (ProbeSet, error) {
 }
 
 // BeaconMethod selects a beacon-placement algorithm (§6).
+//
+// Deprecated: the int enum survives for source compatibility only; new
+// code should address solvers by registry name ("beacon/thiran",
+// "beacon/greedy", "beacon/ilp") via Solve or LookupSolver.
 type BeaconMethod int
 
 const (
@@ -245,17 +254,16 @@ func (m BeaconMethod) String() string {
 }
 
 // PlaceBeacons chooses beacons so every probe of the set has a beacon
-// extremity.
-func PlaceBeacons(ps ProbeSet, method BeaconMethod) (BeaconPlacement, error) {
-	switch method {
-	case BeaconThiran:
-		return active.PlaceThiran(ps)
-	case BeaconGreedy:
-		return active.PlaceGreedy(ps)
-	case BeaconILP:
-		return active.PlaceILP(ps)
+// extremity. It delegates to the registered "beacon/<method>" solver.
+//
+// Deprecated: use Solve with a registry name, which also exposes
+// deadlines and solver statistics.
+func PlaceBeacons(ctx context.Context, ps ProbeSet, method BeaconMethod) (BeaconPlacement, error) {
+	res, err := Solve(ctx, "beacon/"+method.String(), ps)
+	if err != nil {
+		return BeaconPlacement{}, err
 	}
-	return BeaconPlacement{}, fmt.Errorf("repro: unknown beacon method %d", method)
+	return *res.Beacons, nil
 }
 
 // Replay validates a deployment at packet level: synthetic packets flow
@@ -268,8 +276,8 @@ func Replay(in *MultiInstance, rates map[EdgeID]float64, opt ReplayOptions) (Rep
 // PlaceTapsRounding runs the §4.3 randomized-rounding heuristic: round
 // the LP-relaxation of Linear program 2 with boosted probabilities until
 // the coverage target holds, then prune.
-func PlaceTapsRounding(in *Instance, k float64, seed int64) (TapPlacement, error) {
-	return passive.RandomizedRounding(in, k, seed)
+func PlaceTapsRounding(ctx context.Context, in *Instance, k float64, seed int64) (TapPlacement, error) {
+	return passive.RandomizedRounding(ctx, in, k, seed)
 }
 
 // ReoptimizeRatesFlow is the §5.4 min-cost-flow formulation of PPME*

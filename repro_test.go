@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 	var optimal int
 	for _, m := range []TapMethod{TapGreedyLoad, TapGreedyGain, TapFlow, TapILP, TapExact} {
-		pl, err := PlaceTaps(in, 0.9, m)
+		pl, err := PlaceTaps(context.Background(), in, 0.9, m)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -39,11 +40,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := PlaceSamplers(mi, SamplingConfig{K: 0.85})
+	sol, err := PlaceSamplers(context.Background(), mi, SamplingConfig{K: 0.85})
 	if err != nil {
 		t.Fatal(err)
 	}
-	re, err := ReoptimizeRates(mi, sol.Edges, SamplingConfig{K: 0.85})
+	re, err := ReoptimizeRates(context.Background(), mi, sol.Edges, SamplingConfig{K: 0.85})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +52,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("re-optimized coverage %g", re.Fraction)
 	}
 
-	ctl, err := NewRateController(mi, sol.Edges, SamplingConfig{K: 0.85}, 0.8)
+	ctl, err := NewRateController(context.Background(), mi, sol.Edges, SamplingConfig{K: 0.85}, 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rec, err := ctl.Observe(mi); err != nil || rec {
+	if rec, err := ctl.Observe(context.Background(), mi); err != nil || rec {
 		t.Fatalf("controller recomputed on unchanged traffic (err=%v)", err)
 	}
 
@@ -80,7 +81,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	var ilpN int
 	for _, m := range []BeaconMethod{BeaconThiran, BeaconGreedy, BeaconILP} {
-		pl, err := PlaceBeacons(ps, m)
+		pl, err := PlaceBeacons(context.Background(), ps, m)
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -91,7 +92,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 			ilpN = pl.Devices()
 		}
 	}
-	gr, _ := PlaceBeacons(ps, BeaconGreedy)
+	gr, _ := PlaceBeacons(context.Background(), ps, BeaconGreedy)
 	if ilpN > gr.Devices() {
 		t.Fatalf("ilp %d worse than greedy %d", ilpN, gr.Devices())
 	}
@@ -112,14 +113,14 @@ func TestUnknownMethodsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := PlaceTaps(in, 0.9, TapMethod(99)); err == nil {
+	if _, err := PlaceTaps(context.Background(), in, 0.9, TapMethod(99)); err == nil {
 		t.Fatal("unknown tap method accepted")
 	}
 	ps, err := ComputeProbes(pop.G, []NodeID{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := PlaceBeacons(ps, BeaconMethod(99)); err == nil {
+	if _, err := PlaceBeacons(context.Background(), ps, BeaconMethod(99)); err == nil {
 		t.Fatal("unknown beacon method accepted")
 	}
 }
@@ -130,18 +131,18 @@ func TestIncrementalAndBudgetThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := PlaceTaps(in, 0.9, TapILP)
+	base, err := PlaceTaps(context.Background(), in, 0.9, TapILP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	inc, err := PlaceTapsILP(in, 0.9, ILPOptions{Installed: base.Edges[:1]})
+	inc, err := PlaceTapsILP(context.Background(), in, 0.9, ILPOptions{Installed: base.Edges[:1]})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if inc.Devices() < base.Devices() {
 		t.Fatal("incremental beat the optimum")
 	}
-	mc, err := MaxCoverage(in, 2, nil)
+	mc, err := MaxCoverage(context.Background(), in, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestRoutingCampaignThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := PlaceSamplers(mi, SamplingConfig{K: 0.8})
+	sol, err := PlaceSamplers(context.Background(), mi, SamplingConfig{K: 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestNewFacadeFunctions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, err := PlaceTapsRounding(in, 0.9, 1)
+	rr, err := PlaceTapsRounding(context.Background(), in, 0.9, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestNewFacadeFunctions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := PlaceBeacons(ps, BeaconGreedy)
+	pl, err := PlaceBeacons(context.Background(), ps, BeaconGreedy)
 	if err != nil {
 		t.Fatal(err)
 	}
