@@ -48,6 +48,11 @@ func BenchmarkFig8Passive15(b *testing.B) {
 	}
 }
 
+// sanityEps absorbs round-off when comparing per-seed means of solver
+// objectives: an exact optimum may exceed a heuristic's value by float
+// noise without being wrong.
+const sanityEps = 1e-6
+
 func sanityPassive(b *testing.B, s interface {
 	MeanAt(float64, string) float64
 }) {
@@ -55,7 +60,7 @@ func sanityPassive(b *testing.B, s interface {
 	for _, k := range []float64{75, 100} {
 		g := s.MeanAt(k, "Greedy algorithm")
 		opt := s.MeanAt(k, "ILP")
-		if opt > g {
+		if opt > g+sanityEps {
 			b.Fatalf("at %g%%: ILP %g above greedy %g", k, opt, g)
 		}
 	}
@@ -87,7 +92,7 @@ func sanityBeacons(b *testing.B, s interface {
 	il := s.MeanAt(x, "ILP")
 	th := s.MeanAt(x, "Thiran")
 	gr := s.MeanAt(x, "Greedy")
-	if il > gr || il > th {
+	if il > gr+sanityEps || il > th+sanityEps {
 		b.Fatalf("|V_B|=%d: ILP %g above greedy %g / thiran %g", maxVB, il, gr, th)
 	}
 }
@@ -152,6 +157,33 @@ func BenchmarkBudgetedPlacement(b *testing.B) {
 
 // --- Ablations (DESIGN.md §6) ---
 
+// fig7CoverMIP builds the partial-cover MIP of the Figure 7 instance:
+// binary x_e per edge, continuous coverage indicator δ_t per traffic,
+// and a k·total volume floor. Shared by the branching, pricing and
+// simplex-algorithm ablations.
+func fig7CoverMIP(in *Instance, opts mip.Options) *mip.Problem {
+	p := mip.NewProblem(lp.Minimize)
+	xs := make([]lp.Var, in.G.NumEdges())
+	for e := range xs {
+		xs[e] = p.AddBinaryVariable("x", 1)
+	}
+	target := 0.95 * in.TotalVolume()
+	ds := make([]lp.Var, len(in.Traffics))
+	var cov []lp.Term
+	for ti, t := range in.Traffics {
+		ds[ti] = p.AddVariable("d", 0, 1, 0)
+		terms := []lp.Term{{Var: ds[ti], Coef: -1}}
+		for _, e := range t.Path.Edges {
+			terms = append(terms, lp.Term{Var: xs[e], Coef: 1})
+		}
+		p.AddConstraint(lp.GE, 0, terms...)
+		cov = append(cov, lp.Term{Var: ds[ti], Coef: t.Volume})
+	}
+	p.AddConstraint(lp.GE, target, cov...)
+	p.SetOptions(opts)
+	return p
+}
+
 // BenchmarkAblationBranching compares the two branch-and-bound
 // branching rules on the Figure 7 MIP.
 func BenchmarkAblationBranching(b *testing.B) {
@@ -162,32 +194,46 @@ func BenchmarkAblationBranching(b *testing.B) {
 		b.Run(rule.name, func(b *testing.B) {
 			in := fig7Instance(3)
 			for i := 0; i < b.N; i++ {
-				p := mip.NewProblem(lp.Minimize)
-				xs := make([]lp.Var, in.G.NumEdges())
-				for e := range xs {
-					xs[e] = p.AddBinaryVariable("x", 1)
-				}
-				onEdge := in.TrafficsOnEdge()
-				target := 0.95 * in.TotalVolume()
-				covered := 0.0
-				// Full-cover rows for traffics, partial target via δ.
-				ds := make([]lp.Var, len(in.Traffics))
-				var cov []lp.Term
-				for ti, t := range in.Traffics {
-					ds[ti] = p.AddVariable("d", 0, 1, 0)
-					terms := []lp.Term{{Var: ds[ti], Coef: -1}}
-					for _, e := range t.Path.Edges {
-						terms = append(terms, lp.Term{Var: xs[e], Coef: 1})
-					}
-					p.AddConstraint(lp.GE, 0, terms...)
-					cov = append(cov, lp.Term{Var: ds[ti], Coef: t.Volume})
-				}
-				p.AddConstraint(lp.GE, target-covered, cov...)
-				p.SetOptions(mip.Options{Branching: rule.r})
-				if _, err := p.Solve(); err != nil {
+				if _, err := fig7CoverMIP(in, mip.Options{Branching: rule.r}).Solve(); err != nil {
 					b.Fatal(err)
 				}
-				_ = onEdge
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPricing compares Dantzig and Devex pricing of the
+// sparse revised simplex on the Figure 7 MIP (DESIGN.md §6).
+func BenchmarkAblationPricing(b *testing.B) {
+	for _, pr := range []struct {
+		name string
+		p    lp.Pricing
+	}{{"Devex", lp.PricingDevex}, {"Dantzig", lp.PricingDantzig}} {
+		b.Run(pr.name, func(b *testing.B) {
+			in := fig7Instance(3)
+			for i := 0; i < b.N; i++ {
+				if _, err := fig7CoverMIP(in, mip.Options{Pricing: pr.p}).Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSimplex compares the sparse revised simplex (with
+// node warm starts) against the retained dense tableau oracle on the
+// Figure 7 MIP — the tentpole's before/after on one instance.
+func BenchmarkAblationSimplex(b *testing.B) {
+	for _, algo := range []struct {
+		name string
+		a    lp.Algorithm
+	}{{"RevisedSparse", lp.AlgoRevisedSparse}, {"DenseTableau", lp.AlgoDenseTableau}} {
+		b.Run(algo.name, func(b *testing.B) {
+			in := fig7Instance(3)
+			for i := 0; i < b.N; i++ {
+				if _, err := fig7CoverMIP(in, mip.Options{Algorithm: algo.a}).Solve(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -12,10 +12,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -34,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	seeds := fs.Int("seeds", experiments.DefaultSeeds, "runs per point (the paper uses 20)")
 	dotFile := fs.String("dot", "", "with -figure fig6: also write a Graphviz rendering here")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run; expired exact solves report their incumbents (0 = none)")
+	benchJSON := fs.String("bench-json", "", "time every figure at -seeds averaging and write the wall-clock JSON report here (e.g. BENCH_figs.json); series output is suppressed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +46,9 @@ func run(args []string, out io.Writer) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *benchJSON != "" {
+		return writeBenchJSON(ctx, *benchJSON, *figure, *seeds, out)
 	}
 
 	wants := func(name string) bool { return *figure == "all" || *figure == name }
@@ -135,4 +142,80 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// benchReport is the schema of the -bench-json output: one wall-clock
+// sample per figure, so the performance trajectory of the reproduction
+// is tracked across PRs (CI regenerates it on every push).
+type benchReport struct {
+	GeneratedAt string       `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	Seeds       int          `json:"seeds"`
+	Figures     []benchEntry `json:"figures"`
+}
+
+type benchEntry struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// writeBenchJSON times the selected figures (-figure, default all)
+// once at the requested averaging depth and writes the report. Figures
+// run sequentially in a fixed order; a canceled ctx degrades exact
+// solves to incumbents exactly as in normal runs, which would show up
+// as an (honest) speedup, so pair -bench-json with an unbounded run.
+func writeBenchJSON(ctx context.Context, path, figure string, seeds int, log io.Writer) error {
+	type figFn struct {
+		name string
+		fn   func() error
+	}
+	series := func(fn func(context.Context, int) *stats.Series) func() error {
+		return func() error { fn(ctx, seeds); return nil }
+	}
+	figs := []figFn{
+		{"fig6", func() error { return experiments.Fig6(1, io.Discard, nil) }},
+		{"fig7", series(experiments.Fig7)},
+		{"fig8", series(experiments.Fig8)},
+		{"fig9", series(experiments.Fig9)},
+		{"fig10", series(experiments.Fig10)},
+		{"fig11", series(experiments.Fig11)},
+		{"ppme", series(experiments.PPMECost)},
+		{"samplers", func() error { experiments.SamplerBias(1); return nil }},
+		{"large150", series(experiments.Large150)},
+		{"dynamic", func() error {
+			_, err := experiments.Dynamic(ctx, 1, 10, 0.45)
+			return err
+		}},
+		{"replay", func() error {
+			_, _, err := experiments.ReplayCheck(ctx, 1, 0.9)
+			return err
+		}},
+	}
+	report := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Seeds:       seeds,
+	}
+	matched := false
+	for _, f := range figs {
+		if figure != "all" && figure != f.name {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		if err := f.fn(); err != nil {
+			return fmt.Errorf("bench %s: %w", f.name, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		report.Figures = append(report.Figures, benchEntry{Name: f.name, WallMS: ms})
+		fmt.Fprintf(log, "bench %-10s %10.1f ms\n", f.name, ms)
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", figure)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -469,7 +469,8 @@ func PlaceILPOpts(ctx context.Context, ps ProbeSet, opts ILPOptions) (Placement,
 	if err != nil {
 		return Placement{}, err
 	}
-	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
+	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
 	return pl, nil
 }
 

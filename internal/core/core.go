@@ -23,6 +23,15 @@ type SolveStats struct {
 	// Pivots is the total simplex iterations across all LP relaxations
 	// (0 for combinatorial solvers).
 	Pivots int
+	// Refactorizations is the total basis LU refactorizations of the
+	// sparse revised simplex across all LP relaxations.
+	Refactorizations int
+	// DevexResets is the total Devex pricing reference-framework
+	// resets across all LP relaxations.
+	DevexResets int
+	// WarmStarts is the number of branch-and-bound nodes whose LP
+	// relaxation was warm-started from the parent's basis.
+	WarmStarts int
 	// Bound is the best proven bound on the objective; it equals the
 	// objective at optimality and is meaningful only when Proven or an
 	// early-stopped exact search produced it.

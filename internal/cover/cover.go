@@ -76,6 +76,7 @@ type bitset []uint64
 func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 
 func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) unset(i int)    { b[i/64] &^= 1 << (i % 64) }
 func (b bitset) get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
 func (b bitset) clone() bitset  { c := make(bitset, len(b)); copy(c, b); return c }
 
@@ -245,6 +246,7 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 			coveredW += s.in.weight(e)
 		}
 	}
+	s.prepareGains(covered, excluded)
 	s.search(covered, coveredW, forced, excluded)
 
 	res := Result{
@@ -404,6 +406,39 @@ type exactSearch struct {
 	// remaining cover.
 	elemCoverers []bitset
 	elemOrder    []int
+
+	// Incremental residual-gain state: gains[si] is the uncovered
+	// weight of set si, updated in place as include branches flip
+	// elements (and restored exactly on backtrack via the undo stacks)
+	// instead of being recomputed from every set at every node.
+	gains    []float64
+	elemSets [][]int32 // per element: root-non-excluded sets covering it
+	undoT    []int32   // undo stack: touched set ids…
+	undoG    []float64 // …and their prior gains
+	flip     []int32   // undo stack: elements newly covered
+	scratch  []float64 // lower-bound selection buffer
+}
+
+// prepareGains builds the per-element coverer lists and the initial
+// residual gains (everything after the root reductions and forced
+// inclusions).
+func (s *exactSearch) prepareGains(covered bitset, excluded []bool) {
+	n := s.in.NumElements
+	s.elemSets = make([][]int32, n)
+	s.gains = make([]float64, len(s.in.Sets))
+	for si, set := range s.in.Sets {
+		if excluded[si] {
+			continue
+		}
+		g := 0.0
+		for _, e := range set {
+			s.elemSets[e] = append(s.elemSets[e], int32(si))
+			if !covered.get(e) {
+				g += s.in.weight(e)
+			}
+		}
+		s.gains[si] = g
+	}
 }
 
 // prepareDisjointBound precomputes the per-element covering-set bitmaps
@@ -510,48 +545,46 @@ func mergeSignatures(in Instance, target float64) (Instance, float64) {
 	return Instance{NumElements: len(weights), Weights: weights, Sets: sets}, target
 }
 
-// residualGains returns for every non-excluded set its uncovered weight.
-func (s *exactSearch) residualGains(covered bitset, excluded []bool) []float64 {
-	gains := make([]float64, len(s.in.Sets))
-	for si, set := range s.in.Sets {
-		if excluded[si] {
-			gains[si] = -1
-			continue
-		}
-		g := 0.0
-		for _, e := range set {
-			if !covered.get(e) {
-				g += s.in.weight(e)
-			}
-		}
-		gains[si] = g
-	}
-	return gains
-}
-
 // lowerBound returns the minimum number of additional sets needed to
 // cover `remaining` weight, pretending sets never overlap (optimistic,
-// hence a valid bound).
-func lowerBound(gains []float64, remaining float64) int {
+// hence a valid bound). Selection stops at maxUseful — the caller's
+// prune test needs nothing sharper — so the common case extracts a few
+// maxima instead of sorting every gain.
+func (s *exactSearch) lowerBound(remaining float64, maxUseful int, excluded []bool) int {
 	if remaining <= 1e-12 {
 		return 0
 	}
-	pos := make([]float64, 0, len(gains))
-	for _, g := range gains {
-		if g > 0 {
-			pos = append(pos, g)
+	buf := s.scratch[:0]
+	for si, g := range s.gains {
+		if g > 0 && !excluded[si] {
+			buf = append(buf, g)
 		}
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(pos)))
+	s.scratch = buf
 	need := 0
-	for _, g := range pos {
-		remaining -= g
+	for {
+		if len(buf) == 0 {
+			return math.MaxInt32 // cannot reach the target at all
+		}
+		if need >= maxUseful {
+			// At least maxUseful more sets are required; that already
+			// prunes, so stop selecting.
+			return maxUseful
+		}
+		mi := 0
+		for i := 1; i < len(buf); i++ {
+			if buf[i] > buf[mi] {
+				mi = i
+			}
+		}
+		remaining -= buf[mi]
 		need++
 		if remaining <= 1e-12 {
 			return need
 		}
+		buf[mi] = buf[len(buf)-1]
+		buf = buf[:len(buf)-1]
 	}
-	return math.MaxInt32 // cannot reach the target at all
 }
 
 func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, excluded []bool) {
@@ -582,19 +615,22 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, exc
 		return
 	}
 
-	gains := s.residualGains(covered, excluded)
-	lb := lowerBound(gains, s.target-coveredW)
-	if db := s.disjointBound(covered); db > lb {
-		lb = db
-	}
+	lb := s.lowerBound(s.target-coveredW, s.bestLen-len(chosen), excluded)
 	if len(chosen)+lb >= s.bestLen {
 		return
+	}
+	// The disjoint-family bound is the costlier one: only consult it on
+	// nodes the additive bound failed to prune.
+	if db := s.disjointBound(covered); db > lb {
+		if len(chosen)+db >= s.bestLen {
+			return
+		}
 	}
 	// Branch on the set with the largest residual gain.
 	branch := -1
 	bg := 0.0
-	for si, g := range gains {
-		if g > bg {
+	for si, g := range s.gains {
+		if !excluded[si] && g > bg {
 			bg, branch = g, si
 		}
 	}
@@ -609,14 +645,35 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, exc
 	excluded[branch] = false
 }
 
+// include descends into the branch that takes set si. covered and the
+// residual gains are updated in place and restored exactly afterwards
+// (prior gain values are re-installed from the undo stack in reverse,
+// so backtracking never accumulates float drift).
 func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, excluded []bool, si int) {
-	nc := covered.clone()
+	markT, markF := len(s.undoT), len(s.flip)
 	w := coveredW
 	for _, e := range s.in.Sets[si] {
-		if !nc.get(e) {
-			nc.set(e)
-			w += s.in.weight(e)
+		if covered.get(e) {
+			continue
+		}
+		covered.set(e)
+		s.flip = append(s.flip, int32(e))
+		we := s.in.weight(e)
+		w += we
+		for _, t := range s.elemSets[e] {
+			s.undoT = append(s.undoT, t)
+			s.undoG = append(s.undoG, s.gains[t])
+			s.gains[t] -= we
 		}
 	}
-	s.search(nc, w, append(chosen, si), excluded)
+	s.search(covered, w, append(chosen, si), excluded)
+	for i := len(s.undoT) - 1; i >= markT; i-- {
+		s.gains[s.undoT[i]] = s.undoG[i]
+	}
+	s.undoT = s.undoT[:markT]
+	s.undoG = s.undoG[:markT]
+	for i := len(s.flip) - 1; i >= markF; i-- {
+		covered.unset(int(s.flip[i]))
+	}
+	s.flip = s.flip[:markF]
 }

@@ -1,11 +1,16 @@
-// Package lp implements a self-contained dense linear-programming solver:
-// a two-phase primal simplex with bounded variables and Bland anti-cycling.
+// Package lp implements a self-contained linear-programming solver. The
+// default algorithm is a sparse revised simplex: the constraint matrix is
+// stored column-major in compressed sparse form, the basis inverse is
+// maintained as an LU factorization plus a product-form eta file
+// (periodically refactorized), pricing is Devex with a Bland anti-cycling
+// fallback, and warm starts from a saved Basis restore feasibility with a
+// bounded dual simplex. A dense two-phase tableau simplex is retained as
+// the reference oracle (AlgoDenseTableau) for property tests and
+// ablations.
 //
 // The paper solves its placement formulations with CPLEX; this package is
-// the from-scratch substitute (see DESIGN.md §4). It targets the modest
-// instance sizes of the paper's evaluation (hundreds of rows/columns),
-// favouring correctness and determinism over large-scale performance:
-// the tableau is dense and every solve is reproducible.
+// the from-scratch substitute (see DESIGN.md §4). Every solve is
+// deterministic and reproducible.
 package lp
 
 import (
@@ -82,6 +87,29 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
+// Algorithm selects the simplex implementation.
+type Algorithm int
+
+const (
+	// AlgoRevisedSparse is the sparse revised simplex (default).
+	AlgoRevisedSparse Algorithm = iota
+	// AlgoDenseTableau is the dense tableau simplex, retained as the
+	// test oracle and ablation baseline.
+	AlgoDenseTableau
+)
+
+// Pricing selects the entering-variable rule of the revised simplex.
+// The dense tableau always prices with Dantzig's rule.
+type Pricing int
+
+const (
+	// PricingDevex is approximate steepest-edge pricing (default).
+	PricingDevex Pricing = iota
+	// PricingDantzig is most-negative-reduced-cost pricing, retained
+	// for the ablation study.
+	PricingDantzig
+)
+
 // Var identifies a decision variable within a Problem.
 type Var int
 
@@ -104,6 +132,8 @@ type Problem struct {
 	cost    []float64
 	rows    []row
 	maxIter int
+	algo    Algorithm
+	pricing Pricing
 }
 
 type row struct {
@@ -120,6 +150,14 @@ func NewProblem(sense Sense) *Problem {
 // SetMaxIterations overrides the simplex iteration budget (default:
 // 200·(rows+cols)+5000, which is generous for the paper's instances).
 func (p *Problem) SetMaxIterations(n int) { p.maxIter = n }
+
+// SetAlgorithm selects the simplex implementation (default
+// AlgoRevisedSparse).
+func (p *Problem) SetAlgorithm(a Algorithm) { p.algo = a }
+
+// SetPricing selects the revised simplex pricing rule (default
+// PricingDevex).
+func (p *Problem) SetPricing(pr Pricing) { p.pricing = pr }
 
 // AddVariable adds a decision variable with bounds [lower, upper] and the
 // given objective coefficient, returning its handle. lower must be finite
@@ -183,12 +221,40 @@ type Solution struct {
 	// X holds one value per variable, indexed by Var. It is nil unless
 	// Status is Optimal.
 	X []float64
-	// Iterations is the total simplex iterations over both phases.
+	// Iterations is the total simplex iterations over both phases
+	// (primal and, on warm starts, dual).
 	Iterations int
+	// Refactorizations counts basis LU refactorizations of the revised
+	// simplex (0 on the dense path).
+	Refactorizations int
+	// DevexResets counts Devex reference-framework resets (0 on the
+	// dense path or under Dantzig pricing).
+	DevexResets int
+	// Warm reports that the solve completed on the warm-started path
+	// (dual-simplex restoration from a seeded basis, no phase 1).
+	Warm bool
+
+	basis *Basis
 }
 
 // Value returns the solved value of v.
 func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Basis returns a snapshot of the optimal basis, or nil when the solve
+// did not end Optimal on the revised simplex. The snapshot can seed a
+// later solve of the same problem shape via SolveContextFrom — the
+// branch-and-bound MIP warm-starts child nodes this way.
+func (s *Solution) Basis() *Basis { return s.basis }
+
+// Basis is an opaque snapshot of a simplex basis: which standard-form
+// column is basic in each row and the bound status of every column. It
+// is only meaningful for a Problem with the same variables and
+// constraints (bounds may differ).
+type Basis struct {
+	cols   []int
+	status []colStatus
+	m, n   int
+}
 
 // ErrNoVariables is returned when Solve is called on an empty problem.
 var ErrNoVariables = errors.New("lp: problem has no variables")
@@ -213,15 +279,15 @@ func (p *Problem) Evaluate(x []float64) (objective float64, feasible bool) {
 		}
 		switch r.rel {
 		case LE:
-			if lhs > r.rhs+1e-6 {
+			if lhs > r.rhs+epsRow {
 				return 0, false
 			}
 		case GE:
-			if lhs < r.rhs-1e-6 {
+			if lhs < r.rhs-epsRow {
 				return 0, false
 			}
 		case EQ:
-			if math.Abs(lhs-r.rhs) > 1e-6 {
+			if math.Abs(lhs-r.rhs) > epsRow {
 				return 0, false
 			}
 		}
@@ -239,27 +305,65 @@ func (p *Problem) Solve() (*Solution, error) {
 // returns a Canceled solution when it fires, so long simplex runs can be
 // deadline-bounded by callers (the branch-and-bound MIP in particular).
 func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
+	return p.SolveContextFrom(ctx, nil)
+}
+
+// SolveContextFrom is SolveContext warm-started from a saved Basis. A
+// nil (or shape-mismatched) basis solves cold. A usable basis skips
+// phase 1: primal feasibility is restored with a bounded dual simplex
+// (the seed is dual feasible when it comes from an optimal solve of the
+// same problem with different bounds, the branch-and-bound case) and the
+// solve falls back to a cold start whenever the warm path runs into
+// numerical trouble. The dense tableau has no warm start; it ignores
+// basis.
+func (p *Problem) SolveContextFrom(ctx context.Context, basis *Basis) (*Solution, error) {
 	if len(p.names) == 0 {
 		return nil, ErrNoVariables
 	}
+	if p.algo == AlgoDenseTableau {
+		return p.solveDense(ctx), nil
+	}
+	var spentIters, spentFactors, spentResets int
+	if basis != nil {
+		sol, ok := p.solveRevised(ctx, basis)
+		if ok {
+			sol.Warm = true
+			return sol, nil
+		}
+		// Warm start failed (singular seed, numerical trouble, or an
+		// unverified infeasibility claim): solve cold, but keep the
+		// attempt's effort in the counters so callers account for it.
+		if sol != nil {
+			spentIters, spentFactors, spentResets = sol.Iterations, sol.Refactorizations, sol.DevexResets
+		}
+	}
+	sol, _ := p.solveRevised(ctx, nil)
+	sol.Iterations += spentIters
+	sol.Refactorizations += spentFactors
+	sol.DevexResets += spentResets
+	return sol, nil
+}
+
+// solveDense runs the retained dense tableau simplex (the oracle).
+func (p *Problem) solveDense(ctx context.Context) *Solution {
 	t := newTableau(p)
 	t.ctx = ctx
 	st := t.phase1()
 	if st == Infeasible {
-		return &Solution{Status: Infeasible, Iterations: t.iters}, nil
+		return &Solution{Status: Infeasible, Iterations: t.iters}
 	}
 	if st == IterLimit || st == Canceled {
-		return &Solution{Status: st, Iterations: t.iters}, nil
+		return &Solution{Status: st, Iterations: t.iters}
 	}
 	st = t.phase2()
 	switch st {
 	case Unbounded, IterLimit, Canceled:
-		return &Solution{Status: st, Iterations: t.iters}, nil
+		return &Solution{Status: st, Iterations: t.iters}
 	}
 	x := t.extract()
 	obj := 0.0
 	for j, c := range p.cost {
 		obj += c * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: t.iters}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iterations: t.iters}
 }

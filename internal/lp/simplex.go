@@ -5,14 +5,8 @@ import (
 	"math"
 )
 
-// Numerical tolerances. The paper's instances are small and well scaled
-// (unit costs, traffic volumes normalized by the generator), so fixed
-// tolerances are adequate.
-const (
-	epsCost = 1e-7 // reduced-cost optimality tolerance
-	epsPiv  = 1e-9 // minimum admissible pivot magnitude
-	epsFeas = 1e-7 // feasibility tolerance on variable values
-)
+// Numerical tolerances live in tol.go, shared with the sparse revised
+// simplex so the two implementations cannot drift apart.
 
 // column status in the tableau
 type colStatus int8
@@ -176,7 +170,7 @@ func (tb *tableau) phase1() Status {
 			artSum += tb.nonbasicValue(j)
 		}
 	}
-	if artSum > 1e-6 {
+	if artSum > epsArt {
 		return Infeasible
 	}
 	tb.evictArtificials()

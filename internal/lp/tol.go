@@ -1,0 +1,26 @@
+package lp
+
+// Numerical tolerances, hoisted into one place so the sparse revised
+// simplex and the dense tableau oracle cannot drift apart. The paper's
+// instances are small and well scaled (unit costs, traffic volumes
+// normalized by the generator), so fixed tolerances are adequate.
+const (
+	// epsCost is the reduced-cost optimality (dual feasibility)
+	// tolerance.
+	epsCost = 1e-7
+	// epsPiv is the minimum admissible pivot magnitude.
+	epsPiv = 1e-9
+	// epsFeas is the feasibility tolerance on variable values.
+	epsFeas = 1e-7
+	// epsArt is the phase-1 threshold on the residual artificial sum
+	// below which the basis counts as feasible.
+	epsArt = 1e-6
+	// epsRow is the constraint-violation tolerance used when validating
+	// a caller-provided point (Problem.Evaluate).
+	epsRow = 1e-6
+	// epsDrop discards eta-file entries smaller than this in magnitude.
+	epsDrop = 1e-12
+	// devexMaxWeight is the Devex reference-weight blow-up threshold:
+	// when any weight exceeds it the reference framework is reset.
+	devexMaxWeight = 1e7
+)

@@ -47,6 +47,14 @@ type Options struct {
 	// cannot beat it are pruned immediately. It must be feasible and
 	// integral on the integer variables; otherwise it is ignored.
 	Incumbent []float64
+	// Algorithm selects the LP relaxation solver. The default sparse
+	// revised simplex (lp.AlgoRevisedSparse) also enables basis
+	// warm-starting of child nodes; the dense tableau
+	// (lp.AlgoDenseTableau) solves every node cold and is retained for
+	// the ablation study.
+	Algorithm lp.Algorithm
+	// Pricing selects the revised simplex pricing rule.
+	Pricing lp.Pricing
 }
 
 // BranchRule selects which fractional variable to branch on.
@@ -78,11 +86,21 @@ type Solution struct {
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
 	// Pivots is the total simplex iterations across all node
-	// relaxations.
+	// relaxations, including iterations of interrupted nodes and of
+	// warm-start attempts that fell back to a cold solve.
 	Pivots int
 	// Bound is the best proven bound on the optimum (equals Objective
 	// at optimality, tighter than Objective only on early stop).
 	Bound float64
+	// Refactorizations is the total basis LU refactorizations across
+	// all node relaxations (0 with the dense tableau).
+	Refactorizations int
+	// DevexResets is the total Devex reference-framework resets across
+	// all node relaxations.
+	DevexResets int
+	// WarmStarts counts the child nodes whose relaxation was solved
+	// from the parent's basis instead of a cold phase-1 start.
+	WarmStarts int
 }
 
 // Value returns the solved value of v.
@@ -138,11 +156,14 @@ func (p *Problem) NumVariables() int { return p.lp.NumVariables() }
 // NumConstraints returns the number of constraints.
 func (p *Problem) NumConstraints() int { return p.lp.NumConstraints() }
 
-// node is one branch-and-bound subproblem: a set of tightened bounds.
+// node is one branch-and-bound subproblem: a set of tightened bounds
+// plus the parent's optimal basis, which warm-starts the child's LP
+// relaxation (dual-simplex restoration instead of a cold phase 1).
 type node struct {
 	bounds map[lp.Var][2]float64
 	relax  float64 // LP relaxation objective of the parent (priority)
 	depth  int
+	basis  *lp.Basis
 }
 
 // nodeQueue is a best-first priority queue ordered by relaxation bound.
@@ -219,11 +240,17 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 		worst = math.Inf(-1)
 	}
 
+	p.lp.SetAlgorithm(opts.Algorithm)
+	p.lp.SetPricing(opts.Pricing)
+
 	var incumbent []float64
 	incObj := worst
 	bestBound := -worst // trivial bound until the root relaxation solves
 	nodes := 0
 	pivots := 0
+	refactors := 0
+	devexResets := 0
+	warmStarts := 0
 	// interrupted records why the search stopped before exhausting the
 	// tree: lp.Canceled (context fired) or lp.IterLimit (a node
 	// relaxation ran out of simplex iterations). lp.Optimal means no
@@ -263,11 +290,16 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 			p.lp.SetBounds(v, b[0], b[1])
 		}
 
-		sol, err := p.lp.SolveContext(ctx)
+		sol, err := p.lp.SolveContextFrom(ctx, nd.basis)
 		if err != nil {
 			return nil, fmt.Errorf("mip: node relaxation: %w", err)
 		}
 		pivots += sol.Iterations
+		refactors += sol.Refactorizations
+		devexResets += sol.DevexResets
+		if sol.Warm {
+			warmStarts++
+		}
 		if sol.Status == lp.Canceled || sol.Status == lp.IterLimit {
 			// The node's subtree was not explored: push it back so its
 			// relaxation stays part of the reported open bound, and keep
@@ -283,7 +315,8 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 			// An unbounded relaxation at the root means the MIP is
 			// unbounded or needs bounds we cannot infer.
 			if nd.depth == 0 {
-				return &Solution{Status: lp.Unbounded, Nodes: nodes, Pivots: pivots}, nil
+				return &Solution{Status: lp.Unbounded, Nodes: nodes, Pivots: pivots,
+					Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
 			}
 			continue
 		}
@@ -310,11 +343,11 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 		// empty; such a child is simply infeasible and not enqueued.
 		if dn := math.Floor(val); dn >= lo {
 			down := childBounds(nd.bounds, branchVar, lo, dn)
-			heap.Push(q, &node{bounds: down, relax: sol.Objective, depth: nd.depth + 1})
+			heap.Push(q, &node{bounds: down, relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis()})
 		}
 		if up := math.Ceil(val); up <= hi {
 			upb := childBounds(nd.bounds, branchVar, up, hi)
-			heap.Push(q, &node{bounds: upb, relax: sol.Objective, depth: nd.depth + 1})
+			heap.Push(q, &node{bounds: upb, relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis()})
 		}
 	}
 
@@ -338,7 +371,8 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 		case nodes >= opts.MaxNodes:
 			st = lp.IterLimit
 		}
-		return &Solution{Status: st, Nodes: nodes, Pivots: pivots}, nil
+		return &Solution{Status: st, Nodes: nodes, Pivots: pivots,
+			Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
 	}
 	st := lp.Optimal
 	switch {
@@ -358,7 +392,8 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 			bestBound = incObj + pruneSlack(p.sense, p.opts.Gap)
 		}
 	}
-	return &Solution{Status: st, Objective: incObj, X: incumbent, Nodes: nodes, Pivots: pivots, Bound: bestBound}, nil
+	return &Solution{Status: st, Objective: incObj, X: incumbent, Nodes: nodes, Pivots: pivots, Bound: bestBound,
+		Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
 }
 
 // evaluateIncumbent validates a warm-start solution: feasible for the

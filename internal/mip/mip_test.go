@@ -434,3 +434,118 @@ func TestSolveContextCanceledKeepsIncumbent(t *testing.T) {
 		t.Fatalf("bound %g != objective %g at optimality", opt.Bound, opt.Objective)
 	}
 }
+
+// countdownCtx reports itself canceled after a fixed number of Err()
+// polls, which lands the cancellation deterministically inside the
+// branch-and-bound loop (after the root relaxation solved).
+type countdownCtx struct {
+	context.Context
+	calls     *int
+	fireAfter int
+}
+
+func (c countdownCtx) Err() error {
+	*c.calls++
+	if *c.calls > c.fireAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancellationMidSearchCountsPivots: a context firing mid-search
+// must not lose the pivot counters of the nodes already solved (or of
+// the node being interrupted) — the regression companion of
+// TestSolveContextCanceledKeepsIncumbent, which cancels before any
+// node is explored.
+func TestCancellationMidSearchCountsPivots(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(lp.Minimize)
+		n := 13 // an odd ring: the cover relaxation is fractional, forcing branching
+		vars := make([]lp.Var, n)
+		for j := range vars {
+			vars[j] = p.AddBinaryVariable("x", 1)
+		}
+		for i := 0; i < n; i++ {
+			p.AddConstraint(lp.GE, 1, tm(vars[i], 1), tm(vars[(i+1)%n], 1))
+		}
+		all := make([]float64, n)
+		for j := range all {
+			all[j] = 1
+		}
+		p.SetOptions(Options{Incumbent: all})
+		return p
+	}
+	// Reference run: how many nodes/pivots the full solve needs.
+	full := solveOrDie(t, build())
+	if full.Status != lp.Optimal || full.Nodes < 2 || full.Pivots == 0 {
+		t.Fatalf("reference solve too easy for this test: %+v", full)
+	}
+
+	// Fire the cancellation a few polls in: the root relaxation
+	// completes and the search dies at a later node boundary or inside
+	// a later relaxation.
+	calls := 0
+	ctx := countdownCtx{Context: context.Background(), calls: &calls, fireAfter: 3}
+	sol, err := build().SolveContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Canceled {
+		t.Fatalf("status %v, want Canceled", sol.Status)
+	}
+	if sol.X == nil {
+		t.Fatal("incumbent discarded on mid-search cancellation")
+	}
+	if sol.Pivots == 0 {
+		t.Fatal("interrupted search lost its pivot count")
+	}
+	if sol.Nodes == 0 {
+		t.Fatal("interrupted search lost its node count")
+	}
+}
+
+// TestWarmStartCountersSurface: solving a branchy MIP on the sparse
+// path reports warm-started nodes and refactorizations, and the dense
+// ablation path reports neither but agrees on the optimum.
+func TestWarmStartCountersSurface(t *testing.T) {
+	build := func(algo lp.Algorithm) *Problem {
+		rng := rand.New(rand.NewSource(17))
+		p := NewProblem(lp.Minimize)
+		n := 14
+		vars := make([]lp.Var, n)
+		for j := range vars {
+			vars[j] = p.AddBinaryVariable("x", 1+rng.Float64())
+		}
+		for i := 0; i < 2*n; i++ {
+			var terms []lp.Term
+			for j := range vars {
+				if rng.Intn(3) == 0 {
+					terms = append(terms, tm(vars[j], 1))
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.AddConstraint(lp.GE, 1, terms...)
+		}
+		p.SetOptions(Options{Algorithm: algo})
+		return p
+	}
+	sp := solveOrDie(t, build(lp.AlgoRevisedSparse))
+	dn := solveOrDie(t, build(lp.AlgoDenseTableau))
+	if sp.Status != lp.Optimal || dn.Status != lp.Optimal {
+		t.Fatalf("statuses: sparse=%v dense=%v", sp.Status, dn.Status)
+	}
+	if !almostEq(sp.Objective, dn.Objective, 1e-6) {
+		t.Fatalf("objectives differ: sparse=%g dense=%g", sp.Objective, dn.Objective)
+	}
+	if sp.Nodes > 1 && sp.WarmStarts == 0 {
+		t.Fatalf("sparse branchy solve used no warm starts: %+v", sp)
+	}
+	if sp.Refactorizations == 0 {
+		t.Fatalf("sparse solve reported no refactorizations: %+v", sp)
+	}
+	if dn.WarmStarts != 0 || dn.Refactorizations != 0 {
+		t.Fatalf("dense solve reported revised-simplex counters: %+v", dn)
+	}
+}

@@ -261,7 +261,8 @@ func ilpPlacement(in *core.Instance, xs []lp.Var, sol *mip.Solution, method stri
 		}
 	}
 	pl := finish(in, edges, exact, method)
-	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
+	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
 	return pl, nil
 }
 

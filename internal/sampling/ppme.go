@@ -181,7 +181,8 @@ func Solve(ctx context.Context, in *core.MultiInstance, cfg Config) (*Solution, 
 		return nil, fmt.Errorf("sampling: PPME solve ended with status %v", sol.Status)
 	}
 	out := extract(in, paths, cfg, costs, xs, rs, ds, sol.X, exact)
-	out.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots, Bound: sol.Bound}
+	out.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
 	return out, nil
 }
 
@@ -332,6 +333,8 @@ func SolveRates(ctx context.Context, in *core.MultiInstance, installed []graph.E
 	}
 	out := extract(in, paths, cfg, costs, nil, rs, ds, sol.X, true)
 	out.Stats.Pivots = sol.Iterations
+	out.Stats.Refactorizations = sol.Refactorizations
+	out.Stats.DevexResets = sol.DevexResets
 	// The installed set is an input for PPME*: report it as-is, with
 	// explicit zero rates for devices the optimum leaves idle, and count
 	// setup cost as sunk (only exploitation spending is reported).

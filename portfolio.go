@@ -93,6 +93,9 @@ func (p *Portfolio) Solve(ctx context.Context, problem Problem, opts ...Option) 
 		}
 		stats.Nodes += oc.res.Stats.Nodes
 		stats.Pivots += oc.res.Stats.Pivots
+		stats.Refactorizations += oc.res.Stats.Refactorizations
+		stats.DevexResets += oc.res.Stats.DevexResets
+		stats.WarmStarts += oc.res.Stats.WarmStarts
 		if betterResult(oc.res, best) {
 			best = oc.res
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/active"
+	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/passive"
 	"repro/internal/sampling"
@@ -183,7 +184,7 @@ func tapResult(pl TapPlacement) *Result {
 		Objective: float64(pl.Devices()),
 		Bound:     finiteBound(pl.Stats.Bound),
 		Optimal:   pl.Exact,
-		Stats:     Stats{Nodes: pl.Stats.Nodes, Pivots: pl.Stats.Pivots},
+		Stats:     solveStats(pl.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
 	return res
@@ -195,7 +196,7 @@ func beaconResult(pl BeaconPlacement) *Result {
 		Objective: float64(pl.Devices()),
 		Bound:     finiteBound(pl.Stats.Bound),
 		Optimal:   pl.Exact,
-		Stats:     Stats{Nodes: pl.Stats.Nodes, Pivots: pl.Stats.Pivots},
+		Stats:     solveStats(pl.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
 	return res
@@ -207,10 +208,22 @@ func samplingResult(sol *SamplingSolution) *Result {
 		Objective: sol.Cost,
 		Bound:     finiteBound(sol.Stats.Bound),
 		Optimal:   sol.Exact,
-		Stats:     Stats{Nodes: sol.Stats.Nodes, Pivots: sol.Stats.Pivots},
+		Stats:     solveStats(sol.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
 	return res
+}
+
+// solveStats copies an internal effort-counter block into the public
+// Stats (Wall is stamped by SolverFunc.Solve).
+func solveStats(st core.SolveStats) Stats {
+	return Stats{
+		Nodes:            st.Nodes,
+		Pivots:           st.Pivots,
+		Refactorizations: st.Refactorizations,
+		DevexResets:      st.DevexResets,
+		WarmStarts:       st.WarmStarts,
+	}
 }
 
 // gapOf returns |objective − bound| for early-stopped exact solves and

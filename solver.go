@@ -35,6 +35,15 @@ type Stats struct {
 	Nodes int
 	// Pivots is the total simplex iterations across all LP relaxations.
 	Pivots int
+	// Refactorizations is the total basis LU refactorizations of the
+	// sparse revised simplex across all LP relaxations.
+	Refactorizations int
+	// DevexResets is the total Devex pricing reference-framework
+	// resets across all LP relaxations.
+	DevexResets int
+	// WarmStarts is the number of branch-and-bound nodes whose LP
+	// relaxation was warm-started from the parent node's basis.
+	WarmStarts int
 }
 
 // Result is the unified outcome of a Solve: the placement for the
