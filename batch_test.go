@@ -1,0 +1,145 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveBatchMatchesSerialSolves(t *testing.T) {
+	var problems []Problem
+	for seed := int64(1); seed <= 4; seed++ {
+		problems = append(problems, testInstance(t, seed))
+	}
+	batch, err := SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(problems) {
+		t.Fatalf("got %d results for %d problems", len(batch), len(problems))
+	}
+	for i, p := range problems {
+		ref, err := Solve(context.Background(), SolverTapExact, p, WithCoverage(0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Devices() != ref.Devices() || batch[i].Objective != ref.Objective ||
+			batch[i].Optimal != ref.Optimal {
+			t.Fatalf("problem %d: batch (%d devices, obj %g) != serial (%d devices, obj %g)",
+				i, batch[i].Devices(), batch[i].Objective, ref.Devices(), ref.Objective)
+		}
+		if batch[i].Solver != SolverTapExact {
+			t.Fatalf("problem %d solved by %q", i, batch[i].Solver)
+		}
+	}
+}
+
+func TestSolveBatchSerialParallelIdentical(t *testing.T) {
+	var problems []Problem
+	for seed := int64(1); seed <= 6; seed++ {
+		problems = append(problems, testInstance(t, seed))
+	}
+	serialR := NewRunner(WithWorkers(1))
+	serial, err := serialR.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelR := NewRunner(WithWorkers(8))
+	parallel, err := parallelR.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range problems {
+		if serial[i].Devices() != parallel[i].Devices() || serial[i].Objective != parallel[i].Objective {
+			t.Fatalf("problem %d: serial %d devices, parallel %d", i, serial[i].Devices(), parallel[i].Devices())
+		}
+	}
+	if s, p := serialR.BatchStats(), parallelR.BatchStats(); s != p {
+		t.Fatalf("aggregated stats differ: serial %+v, parallel %+v", s, p)
+	}
+}
+
+func TestSolveBatchCacheDeduplicates(t *testing.T) {
+	shared := testInstance(t, 3)
+	rebuilt := testInstance(t, 3) // structurally identical, distinct pointer
+	problems := []Problem{shared, shared, rebuilt, shared, testInstance(t, 4)}
+	r := NewRunner()
+	res, err := r.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.CacheCounts()
+	// Seeds 3 and 4 are the only distinct canonical instances: the
+	// rebuilt seed-3 copy must hit the cache too.
+	if misses != 2 || hits != 3 {
+		t.Fatalf("hits/misses = %d/%d, want 3/2", hits, misses)
+	}
+	for i := 0; i < 4; i++ {
+		if res[i].Devices() != res[0].Devices() {
+			t.Fatalf("duplicate problem %d got %d devices, first got %d", i, res[i].Devices(), res[0].Devices())
+		}
+	}
+	// The aggregate counts each memoized solve once.
+	before := r.BatchStats()
+	if _, err := r.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.BatchStats(); after != before {
+		t.Fatalf("cached rerun grew stats: %+v -> %+v", before, after)
+	}
+}
+
+func TestSolveBatchTimeBoundedBypassesCache(t *testing.T) {
+	in := testInstance(t, 5)
+	r := NewRunner()
+	_, err := r.SolveBatch(context.Background(), SolverTapExact, []Problem{in, in},
+		WithCoverage(0.9), WithTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := r.CacheCounts(); hits != 0 || misses != 0 {
+		t.Fatalf("time-bounded batch touched the cache: hits/misses = %d/%d", hits, misses)
+	}
+	// A deadline on the caller's own context is just as clock-dependent:
+	// a degraded incumbent from such a run must never be memoized.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := r.SolveBatch(ctx, SolverTapExact, []Problem{in, in}, WithCoverage(0.9)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := r.CacheCounts(); hits != 0 || misses != 0 {
+		t.Fatalf("ctx-deadline batch touched the cache: hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestSolveBatchWithoutCache(t *testing.T) {
+	in := testInstance(t, 6)
+	r := NewRunner(WithoutCache(), WithWorkers(2))
+	res, err := r.SolveBatch(context.Background(), SolverTapGreedyLoad, []Problem{in, in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Devices() != res[1].Devices() {
+		t.Fatal("uncached duplicate solves disagree")
+	}
+	if hits, misses := r.CacheCounts(); hits != 0 || misses != 0 {
+		t.Fatal("WithoutCache runner reported cache traffic")
+	}
+}
+
+func TestSolveBatchUnknownSolver(t *testing.T) {
+	if _, err := SolveBatch(context.Background(), "tap/nope", []Problem{testInstance(t, 1)}); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestSolveBatchPropagatesLowestError(t *testing.T) {
+	// A beacon problem handed to a tap solver errors; the batch reports
+	// the first (lowest-index) failure deterministically.
+	bad := Problem("not an instance")
+	_, err := SolveBatch(context.Background(), SolverTapExact,
+		[]Problem{testInstance(t, 1), bad, bad}, WithCoverage(0.9))
+	if err == nil {
+		t.Fatal("bad problem accepted")
+	}
+}

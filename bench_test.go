@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/cover"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/lp"
 	"repro/internal/mip"
@@ -277,6 +278,36 @@ func BenchmarkAblationFlowHeuristic(b *testing.B) {
 	b.Run("Exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			passive.ExactCover(context.Background(), in, 0.95, cover.ExactOptions{})
+		}
+	})
+}
+
+// BenchmarkAblationEngine is the tentpole's before/after: the Figure 9
+// beacon sweep (benchSeeds seeds × 8 sweep points, three solvers per
+// cell) run serially, fanned out on the parallel engine, and fanned out
+// on a warm memoizing cache (steady state: every cell served from the
+// cache). The merged series is byte-identical in all three variants;
+// only the clock changes.
+func BenchmarkAblationEngine(b *testing.B) {
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sanityBeacons(b, experiments.Fig9On(context.Background(), engine.Serial(), benchSeeds), 15)
+		}
+	})
+	b.Run("Parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Fresh per-iteration cache, like Serial: the variants differ
+			// only in worker count.
+			eng := engine.New(engine.Options{Cache: engine.NewCache()})
+			sanityBeacons(b, experiments.Fig9On(context.Background(), eng, benchSeeds), 15)
+		}
+	})
+	b.Run("ParallelWarmCache", func(b *testing.B) {
+		eng := engine.New(engine.Options{Cache: engine.NewCache()})
+		sanityBeacons(b, experiments.Fig9On(context.Background(), eng, benchSeeds), 15) // warm-up, not timed
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sanityBeacons(b, experiments.Fig9On(context.Background(), eng, benchSeeds), 15)
 		}
 	})
 }

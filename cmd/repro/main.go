@@ -1,6 +1,9 @@
 // Command repro regenerates every figure of the paper's evaluation
 // section as text series (see DESIGN.md §3 and EXPERIMENTS.md for the
-// paper-versus-measured comparison).
+// paper-versus-measured comparison). Figures run on the deterministic
+// parallel scenario engine: seed × sweep-point cells fan out on
+// -parallel workers and merge in canonical order, so the series are
+// byte-identical for any worker count.
 //
 // Usage:
 //
@@ -8,6 +11,11 @@
 //	repro -figure all -seeds 20   # everything, paper-strength averaging
 //	repro -figure fig6 -dot fig6.dot
 //	repro -figure fig8 -timeout 30s   # exact solves degrade to incumbents
+//	repro -figure fig9 -parallel 1    # serial baseline (same bytes)
+//
+// Per-figure progress/timing lines (wall clock, engine cells, cache
+// hits/misses, aggregated solver effort) go to stderr; series go to
+// stdout.
 package main
 
 import (
@@ -20,26 +28,34 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, progress io.Writer) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	figure := fs.String("figure", "all", "fig6|fig7|fig8|fig9|fig10|fig11|ppme|samplers|large150|dynamic|replay|all")
 	seeds := fs.Int("seeds", experiments.DefaultSeeds, "runs per point (the paper uses 20)")
 	dotFile := fs.String("dot", "", "with -figure fig6: also write a Graphviz rendering here")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run; expired exact solves report their incumbents (0 = none)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine workers per figure (1 = serial; output is byte-identical either way)")
 	benchJSON := fs.String("bench-json", "", "time every figure at -seeds averaging and write the wall-clock JSON report here (e.g. BENCH_figs.json); series output is suppressed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel <= 0 {
+		// Resolve the engine's "<= 0 means GOMAXPROCS" default up front
+		// so progress lines and the bench report record the worker count
+		// actually used.
+		*parallel = runtime.GOMAXPROCS(0)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -48,7 +64,7 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	if *benchJSON != "" {
-		return writeBenchJSON(ctx, *benchJSON, *figure, *seeds, out)
+		return writeBenchJSON(ctx, *benchJSON, *figure, *seeds, *parallel, out)
 	}
 
 	wants := func(name string) bool { return *figure == "all" || *figure == name }
@@ -59,6 +75,20 @@ func run(args []string, out io.Writer) error {
 		}
 		printed = true
 		return s.Write(out)
+	}
+	// timed runs one figure on a fresh engine (so cache and effort
+	// counters are per figure) and reports a progress line on stderr.
+	timed := func(name string, fn func(eng *engine.Runner) error) error {
+		eng := engine.New(engine.Options{Workers: *parallel, Cache: engine.NewCache()})
+		start := time.Now()
+		if err := fn(eng); err != nil {
+			return err
+		}
+		hits, misses := eng.Cache().Counts()
+		st := eng.Stats()
+		fmt.Fprintf(progress, "repro: %-8s %8.2fs  workers=%d cells=%d cache=%d/%d hit/miss  nodes=%d pivots=%d\n",
+			name, time.Since(start).Seconds(), eng.Workers(), eng.Tasks(), hits, misses, st.Nodes, st.Pivots)
+		return nil
 	}
 
 	if wants("fig6") {
@@ -81,54 +111,70 @@ func run(args []string, out io.Writer) error {
 	}
 	type figFn struct {
 		name string
-		fn   func(context.Context, int) *stats.Series
+		fn   func(context.Context, *engine.Runner, int) *stats.Series
 	}
 	for _, f := range []figFn{
-		{"fig7", experiments.Fig7},
-		{"fig8", experiments.Fig8},
-		{"fig9", experiments.Fig9},
-		{"fig10", experiments.Fig10},
-		{"fig11", experiments.Fig11},
-		{"ppme", experiments.PPMECost},
-		{"samplers", func(context.Context, int) *stats.Series { return experiments.SamplerBias(1) }},
-		{"large150", experiments.Large150},
+		{"fig7", experiments.Fig7On},
+		{"fig8", experiments.Fig8On},
+		{"fig9", experiments.Fig9On},
+		{"fig10", experiments.Fig10On},
+		{"fig11", experiments.Fig11On},
+		{"ppme", experiments.PPMECostOn},
+		{"samplers", func(ctx context.Context, eng *engine.Runner, _ int) *stats.Series {
+			return experiments.SamplerBiasOn(ctx, eng, 1)
+		}},
+		{"large150", experiments.Large150On},
 	} {
 		if !wants(f.name) {
 			continue
 		}
-		if err := emit(f.fn(ctx, *seeds)); err != nil {
+		if err := timed(f.name, func(eng *engine.Runner) error {
+			return emit(f.fn(ctx, eng, *seeds))
+		}); err != nil {
 			return err
 		}
 	}
 	if wants("dynamic") {
-		if printed {
-			fmt.Fprintln(out)
-		}
-		printed = true
-		fmt.Fprintln(out, "# §5.4: dynamic traffic — PPME* rate adaptation under ±45% drift per round")
-		fmt.Fprintf(out, "%-6s %-8s %-12s %-12s %-12s %-12s\n",
-			"seed", "rounds", "recomputes", "min cover", "final cover", "reopt time")
-		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
-			res, err := experiments.Dynamic(ctx, seed, 10, 0.45)
+		err := timed("dynamic", func(eng *engine.Runner) error {
+			results, err := experiments.DynamicBatch(ctx, eng, min(*seeds, 5), 10, 0.45)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "%-6d %-8d %-12d %11.2f%% %11.2f%% %12v\n",
-				seed, res.Rounds, res.Recomputes, res.MinCoverage*100, res.FinalCoverage*100, res.ReoptTime)
+			if printed {
+				fmt.Fprintln(out)
+			}
+			printed = true
+			fmt.Fprintln(out, "# §5.4: dynamic traffic — PPME* rate adaptation under ±45% drift per round")
+			fmt.Fprintf(out, "%-6s %-8s %-12s %-12s %-12s %-12s\n",
+				"seed", "rounds", "recomputes", "min cover", "final cover", "reopt time")
+			for seed, res := range results {
+				fmt.Fprintf(out, "%-6d %-8d %-12d %11.2f%% %11.2f%% %12v\n",
+					seed, res.Rounds, res.Recomputes, res.MinCoverage*100, res.FinalCoverage*100, res.ReoptTime)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if wants("replay") {
-		if printed {
-			fmt.Fprintln(out)
-		}
-		fmt.Fprintln(out, "# validation: packet replay of PPME solutions (promised vs achieved coverage)")
-		fmt.Fprintf(out, "%-6s %-6s %-12s %-12s\n", "seed", "k", "promised", "achieved")
-		for seed := int64(0); seed < int64(min(*seeds, 5)); seed++ {
-			prom, ach, err := experiments.ReplayCheck(ctx, seed, 0.9)
+		err := timed("replay", func(eng *engine.Runner) error {
+			outs, err := experiments.ReplayBatch(ctx, eng, min(*seeds, 5), 0.9)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(out, "%-6d %-6.2f %11.2f%% %11.2f%%\n", seed, 0.9, prom*100, ach*100)
+			if printed {
+				fmt.Fprintln(out)
+			}
+			fmt.Fprintln(out, "# validation: packet replay of PPME solutions (promised vs achieved coverage)")
+			fmt.Fprintf(out, "%-6s %-6s %-12s %-12s\n", "seed", "k", "promised", "achieved")
+			for _, o := range outs {
+				fmt.Fprintf(out, "%-6d %-6.2f %11.2f%% %11.2f%%\n", o.Seed, 0.9, o.Promised*100, o.Achieved*100)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if !printed && !wants("dynamic") && !wants("replay") {
@@ -151,6 +197,7 @@ type benchReport struct {
 	GeneratedAt string       `json:"generated_at"`
 	GoVersion   string       `json:"go_version"`
 	Seeds       int          `json:"seeds"`
+	Workers     int          `json:"workers"`
 	Figures     []benchEntry `json:"figures"`
 }
 
@@ -160,33 +207,38 @@ type benchEntry struct {
 }
 
 // writeBenchJSON times the selected figures (-figure, default all)
-// once at the requested averaging depth and writes the report. Figures
-// run sequentially in a fixed order; a canceled ctx degrades exact
-// solves to incumbents exactly as in normal runs, which would show up
-// as an (honest) speedup, so pair -bench-json with an unbounded run.
-func writeBenchJSON(ctx context.Context, path, figure string, seeds int, log io.Writer) error {
+// once at the requested averaging depth on the parallel engine and
+// writes the report. Each figure runs on a fresh engine (workers from
+// -parallel, per-figure cache), sequentially in a fixed order; a
+// canceled ctx degrades exact solves to incumbents exactly as in
+// normal runs, which would show up as an (honest) speedup, so pair
+// -bench-json with an unbounded run.
+func writeBenchJSON(ctx context.Context, path, figure string, seeds, parallel int, log io.Writer) error {
 	type figFn struct {
 		name string
-		fn   func() error
+		fn   func(eng *engine.Runner) error
 	}
-	series := func(fn func(context.Context, int) *stats.Series) func() error {
-		return func() error { fn(ctx, seeds); return nil }
+	series := func(fn func(context.Context, *engine.Runner, int) *stats.Series) func(*engine.Runner) error {
+		return func(eng *engine.Runner) error { fn(ctx, eng, seeds); return nil }
 	}
 	figs := []figFn{
-		{"fig6", func() error { return experiments.Fig6(1, io.Discard, nil) }},
-		{"fig7", series(experiments.Fig7)},
-		{"fig8", series(experiments.Fig8)},
-		{"fig9", series(experiments.Fig9)},
-		{"fig10", series(experiments.Fig10)},
-		{"fig11", series(experiments.Fig11)},
-		{"ppme", series(experiments.PPMECost)},
-		{"samplers", func() error { experiments.SamplerBias(1); return nil }},
-		{"large150", series(experiments.Large150)},
-		{"dynamic", func() error {
+		{"fig6", func(*engine.Runner) error { return experiments.Fig6(1, io.Discard, nil) }},
+		{"fig7", series(experiments.Fig7On)},
+		{"fig8", series(experiments.Fig8On)},
+		{"fig9", series(experiments.Fig9On)},
+		{"fig10", series(experiments.Fig10On)},
+		{"fig11", series(experiments.Fig11On)},
+		{"ppme", series(experiments.PPMECostOn)},
+		{"samplers", func(eng *engine.Runner) error { experiments.SamplerBiasOn(ctx, eng, 1); return nil }},
+		{"large150", series(experiments.Large150On)},
+		// dynamic and replay keep the historical single-seed workload
+		// (seed 1, no engine fan-out) so BENCH_figs.json stays
+		// comparable across PRs.
+		{"dynamic", func(*engine.Runner) error {
 			_, err := experiments.Dynamic(ctx, 1, 10, 0.45)
 			return err
 		}},
-		{"replay", func() error {
+		{"replay", func(*engine.Runner) error {
 			_, _, err := experiments.ReplayCheck(ctx, 1, 0.9)
 			return err
 		}},
@@ -195,6 +247,7 @@ func writeBenchJSON(ctx context.Context, path, figure string, seeds int, log io.
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Seeds:       seeds,
+		Workers:     parallel,
 	}
 	matched := false
 	for _, f := range figs {
@@ -202,8 +255,9 @@ func writeBenchJSON(ctx context.Context, path, figure string, seeds int, log io.
 			continue
 		}
 		matched = true
+		eng := engine.New(engine.Options{Workers: parallel, Cache: engine.NewCache()})
 		start := time.Now()
-		if err := f.fn(); err != nil {
+		if err := f.fn(eng); err != nil {
 			return fmt.Errorf("bench %s: %w", f.name, err)
 		}
 		ms := float64(time.Since(start).Microseconds()) / 1000

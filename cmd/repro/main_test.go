@@ -9,8 +9,8 @@ import (
 
 func runToString(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	var sb strings.Builder
-	err := run(args, &sb)
+	var sb, progress strings.Builder
+	err := run(args, &sb, &progress)
 	return sb.String(), err
 }
 
@@ -83,6 +83,31 @@ func TestReplayFigure(t *testing.T) {
 	}
 	if !strings.Contains(out, "promised") || !strings.Contains(out, "achieved") {
 		t.Errorf("replay output wrong:\n%s", out)
+	}
+}
+
+// TestParallelFlagByteIdentical is the CLI face of the engine's
+// determinism guarantee: -parallel 1 and -parallel 8 emit the same
+// bytes on stdout, with progress confined to stderr.
+func TestParallelFlagByteIdentical(t *testing.T) {
+	var serialOut, serialProg strings.Builder
+	if err := run([]string{"-figure", "fig7", "-seeds", "2", "-parallel", "1"}, &serialOut, &serialProg); err != nil {
+		t.Fatal(err)
+	}
+	var parOut, parProg strings.Builder
+	if err := run([]string{"-figure", "fig7", "-seeds", "2", "-parallel", "8"}, &parOut, &parProg); err != nil {
+		t.Fatal(err)
+	}
+	if parOut.String() != serialOut.String() {
+		t.Fatalf("-parallel 8 output differs from -parallel 1:\n%s\nwant:\n%s", parOut.String(), serialOut.String())
+	}
+	for _, prog := range []string{serialProg.String(), parProg.String()} {
+		if !strings.Contains(prog, "fig7") || !strings.Contains(prog, "workers=") || !strings.Contains(prog, "cache=") {
+			t.Errorf("progress line missing engine fields:\n%s", prog)
+		}
+	}
+	if strings.Contains(parOut.String(), "workers=") {
+		t.Error("progress leaked onto stdout")
 	}
 }
 

@@ -4,6 +4,16 @@
 // the paper averages over 20 simulations. cmd/repro prints them;
 // bench_test.go at the module root times them; EXPERIMENTS.md records
 // paper-versus-measured shapes.
+//
+// Since the engine refactor every multi-seed figure fans its
+// seed × sweep-point cells out on an internal/engine runner: cells run
+// concurrently on a bounded worker pool, instances and exact solves are
+// memoized behind canonical keys, and results are merged in canonical
+// serial order, so the series are byte-identical whatever the worker
+// count. The legacy one-argument entry points (Fig7, Fig8, …) run on a
+// fresh default runner (GOMAXPROCS workers, per-call cache); the *On
+// variants accept a caller-managed runner so the CLI and benchmarks can
+// control parallelism and share caches across figures.
 package experiments
 
 import (
@@ -16,6 +26,7 @@ import (
 	"repro/internal/active"
 	"repro/internal/core"
 	"repro/internal/cover"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/passive"
 	"repro/internal/sampling"
@@ -33,6 +44,53 @@ const DefaultSeeds = 20
 // traffic, starting from 75%).
 var KSweep = []float64{0.75, 0.80, 0.85, 0.90, 0.95, 1.00}
 
+// NewRunner builds the default figure engine: GOMAXPROCS workers and a
+// fresh memoizing cache. The legacy entry points call it per figure so
+// repeated benchmark iterations stay honest (no cross-call memoization).
+func NewRunner() *engine.Runner {
+	return engine.New(engine.Options{Cache: engine.NewCache()})
+}
+
+// cached memoizes compute under the runner's cache with a typed
+// result — for ctx-independent builds (instances, routed traffic).
+func cached[T any](eng *engine.Runner, key string, compute func() T) T {
+	v, _ := eng.Cached(key, func() (any, error) { return compute(), nil })
+	return v.(T)
+}
+
+// cachedSolve memoizes a ctx-consulting solve: if ctx fires mid-solve
+// the degraded incumbent is returned but not retained, so a later
+// unhurried run on the same runner re-solves instead of silently
+// serving stale incumbents.
+func cachedSolve[T any](ctx context.Context, eng *engine.Runner, key string, compute func() T) T {
+	v, _ := eng.CachedUnlessCanceled(ctx, key, func() (any, error) { return compute(), nil })
+	return v.(T)
+}
+
+// runSweep fans the seed × point grid of one figure out on eng and
+// merges the per-cell samples into s in canonical serial order
+// (seed-major, point-minor) — the order the historical seed loops used —
+// so the rendered series is bit-identical for any worker count. A cell
+// may return no samples (a skipped sweep point); cells leave
+// Sample.Rank zero — runSweep stamps every sample with its cell's task
+// index, the canonical merge position.
+func runSweep(ctx context.Context, eng *engine.Runner, s *stats.Series, seeds, points int, cell func(ctx context.Context, seed, point int) []stats.Sample) {
+	results, err := engine.Map(ctx, eng, seeds*points, func(ctx context.Context, i int) ([]stats.Sample, error) {
+		return cell(ctx, i/points, i%points), nil
+	})
+	if err != nil {
+		// Cells report failures by panicking (as the historical serial
+		// loops did); Map errors cannot happen here.
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	for i, ss := range results {
+		for j := range ss {
+			ss[j].Rank = i
+		}
+		s.AddSamples(ss...)
+	}
+}
+
 // instance builds the POP + routed traffic of one run.
 func instance(cfg topology.Config, seed int64) *core.Instance {
 	cfg.Seed = seed
@@ -45,6 +103,13 @@ func instance(cfg topology.Config, seed int64) *core.Instance {
 	return in
 }
 
+// cachedInstance memoizes instance construction per (cfg, seed): every
+// sweep-point cell of the same seed shares one build.
+func cachedInstance(eng *engine.Runner, cfg topology.Config, seed int64) *core.Instance {
+	key := engine.MustKey("experiments/instance", nil, cfg, seed)
+	return cached(eng, key, func() *core.Instance { return instance(cfg, seed) })
+}
+
 // PassivePlacement reproduces Figures 7 and 8: device counts of the
 // load-order greedy versus the exact optimum (the paper's ILP curve)
 // across the monitored-traffic sweep, averaged over seeds runs.
@@ -54,26 +119,40 @@ func instance(cfg topology.Config, seed int64) *core.Instance {
 // paper's CPLEX-solved MIP — internal/passive's tests cross-check the
 // two on smaller instances.
 func PassivePlacement(ctx context.Context, cfg topology.Config, figure string, seeds, maxNodes int) *stats.Series {
+	return PassivePlacementOn(ctx, NewRunner(), cfg, figure, seeds, maxNodes)
+}
+
+// PassivePlacementOn is PassivePlacement on a caller-managed engine.
+func PassivePlacementOn(ctx context.Context, eng *engine.Runner, cfg topology.Config, figure string, seeds, maxNodes int) *stats.Series {
 	s := stats.NewSeries(
 		figure+": passive monitoring devices placement",
 		"% monitored", "number of monitoring devices",
 		"Greedy algorithm", "ILP",
 	)
-	for seed := 0; seed < seeds; seed++ {
-		in := instance(cfg, int64(seed))
-		for _, k := range KSweep {
-			g := passive.GreedyLoad(in, k)
-			s.Add(k*100, "Greedy algorithm", float64(g.Devices()))
-			ex := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes})
-			s.Add(k*100, "ILP", float64(ex.Devices()))
+	runSweep(ctx, eng, s, seeds, len(KSweep), func(ctx context.Context, seed, point int) []stats.Sample {
+		in := cachedInstance(eng, cfg, int64(seed))
+		k := KSweep[point]
+		g := passive.GreedyLoad(in, k)
+		ex := cachedSolve(ctx, eng, engine.MustKey("tap/exact", in, k, maxNodes), func() passive.Placement {
+			pl := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes})
+			eng.AddStats(pl.Stats)
+			return pl
+		})
+		x := k * 100
+		return []stats.Sample{
+			{X: x, Column: "Greedy algorithm", Value: float64(g.Devices())},
+			{X: x, Column: "ILP", Value: float64(ex.Devices())},
 		}
-	}
+	})
 	return s
 }
 
 // Fig7 is the 10-router POP of Figure 7 (27 links, 132 traffics).
-func Fig7(ctx context.Context, seeds int) *stats.Series {
-	return PassivePlacement(ctx, topology.Paper10, "Figure 7 (10-router POP)", seeds, 0)
+func Fig7(ctx context.Context, seeds int) *stats.Series { return Fig7On(ctx, NewRunner(), seeds) }
+
+// Fig7On is Fig7 on a caller-managed engine.
+func Fig7On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
+	return PassivePlacementOn(ctx, eng, topology.Paper10, "Figure 7 (10-router POP)", seeds, 0)
 }
 
 // Fig8 is the 15-router POP of Figure 8 (71 links, 1980 traffics).
@@ -81,8 +160,20 @@ func Fig7(ctx context.Context, seeds int) *stats.Series {
 // and 100% points of this instance are hard for our solver (CPLEX
 // closes them; see EXPERIMENTS.md); the returned incumbents are upper
 // bounds within ~1 device of optimal and preserve the figure's shape.
-func Fig8(ctx context.Context, seeds int) *stats.Series {
-	return PassivePlacement(ctx, topology.Paper15, "Figure 8 (15-router POP)", seeds, 400_000)
+func Fig8(ctx context.Context, seeds int) *stats.Series { return Fig8On(ctx, NewRunner(), seeds) }
+
+// Fig8On is Fig8 on a caller-managed engine.
+func Fig8On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
+	return PassivePlacementOn(ctx, eng, topology.Paper15, "Figure 8 (15-router POP)", seeds, 400_000)
+}
+
+// beaconSeed is the pre-drawn scenario of one seed of a beacon figure:
+// the POP and the per-sweep-point candidate sets. Candidate draws
+// consume a sequential per-seed rand stream, so they are generated
+// serially up front and only the solves fan out.
+type beaconSeed struct {
+	pop   *topology.POP
+	cands [][]graph.NodeID // indexed by sweep point; nil = skipped
 }
 
 // BeaconPlacement reproduces Figures 9–11: beacons selected by the
@@ -90,43 +181,65 @@ func Fig8(ctx context.Context, seeds int) *stats.Series {
 // the candidate set V_B grows. Candidates are random router subsets,
 // re-drawn per seed.
 func BeaconPlacement(ctx context.Context, cfg topology.Config, figure string, seeds int, vbSweep []int) *stats.Series {
+	return BeaconPlacementOn(ctx, NewRunner(), cfg, figure, seeds, vbSweep)
+}
+
+// BeaconPlacementOn is BeaconPlacement on a caller-managed engine.
+func BeaconPlacementOn(ctx context.Context, eng *engine.Runner, cfg topology.Config, figure string, seeds int, vbSweep []int) *stats.Series {
 	s := stats.NewSeries(
 		figure+": active monitoring beacons placement",
 		"selectable beacons", "number of beacons selected",
 		"Thiran", "Greedy", "ILP",
 	)
+	scenarios := make([]beaconSeed, seeds)
 	for seed := 0; seed < seeds; seed++ {
 		cfg := cfg
 		cfg.Seed = int64(seed)
 		pop := topology.Generate(cfg)
 		routers := routerIDs(pop)
 		rng := rand.New(rand.NewSource(int64(seed) * 7919))
-		for _, nb := range vbSweep {
+		sc := beaconSeed{pop: pop, cands: make([][]graph.NodeID, len(vbSweep))}
+		for vi, nb := range vbSweep {
 			if nb > len(routers) {
 				continue
 			}
-			cands := sampleNodes(rng, routers, nb)
-			ps, err := active.ComputeProbes(pop.G, cands)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: probes: %v", err))
-			}
-			th, err := active.PlaceThiran(ps)
-			if err != nil {
-				panic(err)
-			}
-			gr, err := active.PlaceGreedy(ps)
-			if err != nil {
-				panic(err)
-			}
-			il, err := active.PlaceILP(ctx, ps)
-			if err != nil {
-				panic(err)
-			}
-			s.Add(float64(nb), "Thiran", float64(th.Devices()))
-			s.Add(float64(nb), "Greedy", float64(gr.Devices()))
-			s.Add(float64(nb), "ILP", float64(il.Devices()))
+			sc.cands[vi] = sampleNodes(rng, routers, nb)
 		}
+		scenarios[seed] = sc
 	}
+	runSweep(ctx, eng, s, seeds, len(vbSweep), func(ctx context.Context, seed, point int) []stats.Sample {
+		sc := scenarios[seed]
+		cands := sc.cands[point]
+		if cands == nil {
+			return nil
+		}
+		ps, err := active.ComputeProbes(sc.pop.G, cands)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: probes: %v", err))
+		}
+		th, err := active.PlaceThiran(ps)
+		if err != nil {
+			panic(err)
+		}
+		gr, err := active.PlaceGreedy(ps)
+		if err != nil {
+			panic(err)
+		}
+		il := cachedSolve(ctx, eng, engine.MustKey("beacon/ilp", ps), func() active.Placement {
+			pl, err := active.PlaceILP(ctx, ps)
+			if err != nil {
+				panic(err)
+			}
+			eng.AddStats(pl.Stats)
+			return pl
+		})
+		x := float64(vbSweep[point])
+		return []stats.Sample{
+			{X: x, Column: "Thiran", Value: float64(th.Devices())},
+			{X: x, Column: "Greedy", Value: float64(gr.Devices())},
+			{X: x, Column: "ILP", Value: float64(il.Devices())},
+		}
+	})
 	return s
 }
 
@@ -158,32 +271,47 @@ func vbSweep(max int) []int {
 }
 
 // Fig9 is the 15-router beacon experiment of Figure 9.
-func Fig9(ctx context.Context, seeds int) *stats.Series {
-	return BeaconPlacement(ctx, topology.Paper15, "Figure 9 (15-router POP)", seeds, vbSweep(15))
+func Fig9(ctx context.Context, seeds int) *stats.Series { return Fig9On(ctx, NewRunner(), seeds) }
+
+// Fig9On is Fig9 on a caller-managed engine.
+func Fig9On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
+	return BeaconPlacementOn(ctx, eng, topology.Paper15, "Figure 9 (15-router POP)", seeds, vbSweep(15))
 }
 
 // Fig10 is the 29-router beacon experiment of Figure 10.
-func Fig10(ctx context.Context, seeds int) *stats.Series {
-	return BeaconPlacement(ctx, topology.Paper29, "Figure 10 (29-router POP)", seeds, vbSweep(29))
+func Fig10(ctx context.Context, seeds int) *stats.Series { return Fig10On(ctx, NewRunner(), seeds) }
+
+// Fig10On is Fig10 on a caller-managed engine.
+func Fig10On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
+	return BeaconPlacementOn(ctx, eng, topology.Paper29, "Figure 10 (29-router POP)", seeds, vbSweep(29))
 }
 
 // Fig11 is the 80-router beacon experiment of Figure 11.
-func Fig11(ctx context.Context, seeds int) *stats.Series {
-	return BeaconPlacement(ctx, topology.Paper80, "Figure 11 (80-router POP)", seeds, vbSweep(80))
+func Fig11(ctx context.Context, seeds int) *stats.Series { return Fig11On(ctx, NewRunner(), seeds) }
+
+// Fig11On is Fig11 on a caller-managed engine.
+func Fig11On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
+	return BeaconPlacementOn(ctx, eng, topology.Paper80, "Figure 11 (80-router POP)", seeds, vbSweep(80))
 }
 
 // Large150 is the paper's §7 outlook ("we are also currently testing
 // our solution on larger POPs, with at least 150 routers"): the beacon
 // comparison on a 150-router POP, sweeping a coarse candidate grid.
 func Large150(ctx context.Context, seeds int) *stats.Series {
+	return Large150On(ctx, NewRunner(), seeds)
+}
+
+// Large150On is Large150 on a caller-managed engine.
+func Large150On(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
 	cfg := topology.Config{Routers: 150, InterRouterLinks: 280, Endpoints: 80}
-	return BeaconPlacement(ctx, cfg, "§7 outlook (150-router POP)", seeds, []int{10, 30, 60, 90, 120, 150})
+	return BeaconPlacementOn(ctx, eng, cfg, "§7 outlook (150-router POP)", seeds, []int{10, 30, 60, 90, 120, 150})
 }
 
 // Fig6 reproduces Figure 6: the non-uniform traffic weight over a
 // simple POP. It writes the per-link load shares as text and optionally
 // the DOT rendering (edge thickness ∝ load share, as in the paper's
-// figure).
+// figure). Fig6 is a single deterministic render with no seed loop, so
+// it does not fan out on the engine.
 func Fig6(seed int64, text io.Writer, dot io.Writer) error {
 	cfg := topology.Config{Routers: 6, InterRouterLinks: 9, Endpoints: 6, Seed: seed}
 	pop := topology.Generate(cfg)
@@ -231,11 +359,36 @@ func Fig6(seed int64, text io.Writer, dot io.Writer) error {
 	return nil
 }
 
+// ppmeKSweep is the coverage sweep of the §5 cost experiment.
+var ppmeKSweep = []float64{0.75, 0.85, 0.95}
+
+// cachedMulti memoizes the 2-route multi-instance build of one
+// (cfg, seed) — the §5 experiments' input.
+func cachedMulti(eng *engine.Runner, cfg topology.Config, seed int64) *core.MultiInstance {
+	key := engine.MustKey("experiments/multi", nil, cfg, seed, 2)
+	return cached(eng, key, func() *core.MultiInstance {
+		cfg := cfg
+		cfg.Seed = seed
+		pop := topology.Generate(cfg)
+		demands := traffic.Demands(pop, traffic.Config{Seed: seed})
+		mi, err := traffic.RouteMulti(pop, demands, 2)
+		if err != nil {
+			panic(err)
+		}
+		return mi
+	})
+}
+
 // PPMECost is the §5 experiment (no figure in the paper): total
 // setup+exploitation cost of PPME(h,k) across the coverage sweep on a
 // multi-routed 10-router POP, compared with the cost of the PPM
 // placement run at full rate.
 func PPMECost(ctx context.Context, seeds int) *stats.Series {
+	return PPMECostOn(ctx, NewRunner(), seeds)
+}
+
+// PPMECostOn is PPMECost on a caller-managed engine.
+func PPMECostOn(ctx context.Context, eng *engine.Runner, seeds int) *stats.Series {
 	s := stats.NewSeries(
 		"§5: PPME(h,k) cost vs full-rate PPM placement",
 		"% monitored", "total cost (setup + exploitation)",
@@ -243,37 +396,40 @@ func PPMECost(ctx context.Context, seeds int) *stats.Series {
 	)
 	// §5 has no prescribed instance; a compact POP keeps the MILP fast.
 	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8}
-	for seed := 0; seed < seeds; seed++ {
-		cfg.Seed = int64(seed)
-		pop := topology.Generate(cfg)
-		demands := traffic.Demands(pop, traffic.Config{Seed: int64(seed)})
-		mi, err := traffic.RouteMulti(pop, demands, 2)
-		if err != nil {
-			panic(err)
-		}
-		costs := sampling.DefaultCosts()
-		for _, k := range []float64{0.75, 0.85, 0.95} {
+	costs := sampling.DefaultCosts()
+	runSweep(ctx, eng, s, seeds, len(ppmeKSweep), func(ctx context.Context, seed, point int) []stats.Sample {
+		mi := cachedMulti(eng, cfg, int64(seed))
+		k := ppmeKSweep[point]
+		sol := cachedSolve(ctx, eng, engine.MustKey("sample/ppme", mi, k, 20000, "costs=default"), func() *sampling.Solution {
 			sol, err := sampling.Solve(ctx, mi, sampling.Config{K: k, Costs: costs, MaxNodes: 20000})
 			if err != nil {
 				panic(err)
 			}
-			s.Add(k*100, "PPME cost", sol.Cost)
-			s.Add(k*100, "PPME devices", float64(sol.Devices()))
-			// Baseline on the same instance: devices without rate
-			// control pay install + full-rate exploitation; minimizing
-			// that total is PPME with the exploitation coefficient
-			// folded into the install cost.
-			fullRate := sampling.CostModel{
-				Install: func(e graph.Edge) float64 { return costs.Install(e) + costs.Exploit(e) },
-				Exploit: func(graph.Edge) float64 { return 0 },
-			}
-			base, err := sampling.Solve(ctx, mi, sampling.Config{K: k, Costs: fullRate, MaxNodes: 20000})
+			eng.AddStats(sol.Stats)
+			return sol
+		})
+		// Baseline on the same instance: devices without rate control pay
+		// install + full-rate exploitation; minimizing that total is PPME
+		// with the exploitation coefficient folded into the install cost.
+		fullRate := sampling.CostModel{
+			Install: func(e graph.Edge) float64 { return costs.Install(e) + costs.Exploit(e) },
+			Exploit: func(graph.Edge) float64 { return 0 },
+		}
+		base := cachedSolve(ctx, eng, engine.MustKey("sample/ppme", mi, k, 20000, "costs=fullrate"), func() *sampling.Solution {
+			sol, err := sampling.Solve(ctx, mi, sampling.Config{K: k, Costs: fullRate, MaxNodes: 20000})
 			if err != nil {
 				panic(err)
 			}
-			s.Add(k*100, "PPM full-rate cost", base.Cost)
+			eng.AddStats(sol.Stats)
+			return sol
+		})
+		x := k * 100
+		return []stats.Sample{
+			{X: x, Column: "PPME cost", Value: sol.Cost},
+			{X: x, Column: "PPME devices", Value: float64(sol.Devices())},
+			{X: x, Column: "PPM full-rate cost", Value: base.Cost},
 		}
-	}
+	})
 	return s
 }
 
@@ -289,7 +445,9 @@ type DynamicResult struct {
 }
 
 // Dynamic runs the §5.4 controller over `rounds` drift steps of ±drift
-// relative volume change and reports adaptation statistics.
+// relative volume change and reports adaptation statistics. One run is
+// inherently sequential (the controller reacts round by round);
+// DynamicBatch fans independent seeds out on the engine.
 func Dynamic(ctx context.Context, seed int64, rounds int, drift float64) (DynamicResult, error) {
 	cfg := topology.Config{Routers: 7, InterRouterLinks: 11, Endpoints: 8, Seed: seed}
 	pop := topology.Generate(cfg)
@@ -344,11 +502,28 @@ func Dynamic(ctx context.Context, seed int64, rounds int, drift float64) (Dynami
 	return res, nil
 }
 
+// DynamicBatch runs the §5.4 experiment for seeds 0..seeds-1 on the
+// engine and returns the per-seed results in seed order.
+func DynamicBatch(ctx context.Context, eng *engine.Runner, seeds, rounds int, drift float64) ([]DynamicResult, error) {
+	return engine.Map(ctx, eng, seeds, func(ctx context.Context, i int) (DynamicResult, error) {
+		return Dynamic(ctx, int64(i), rounds, drift)
+	})
+}
+
+// samplerPeriods is the x axis of the §5.2 bias experiment.
+var samplerPeriods = []int{10, 100, 1000}
+
 // SamplerBias reproduces the §5.2 discussion (the Metropolis study
 // quoted by the paper): how the sampling techniques distort mice
 // statistics as the period N grows — with 1-in-1000 sampling, most mice
 // flows are never seen at all.
 func SamplerBias(seed int64) *stats.Series {
+	return SamplerBiasOn(context.Background(), NewRunner(), seed)
+}
+
+// SamplerBiasOn is SamplerBias with the per-period cells fanned out on
+// a caller-managed engine.
+func SamplerBiasOn(ctx context.Context, eng *engine.Runner, seed int64) *stats.Series {
 	s := stats.NewSeries(
 		"§5.2: sampling bias — % of mice flows entirely missed",
 		"period N", "% mice missed",
@@ -366,19 +541,34 @@ func SamplerBias(seed int64) *stats.Series {
 			mice++
 		}
 	}
-	for _, n := range []int{10, 100, 1000} {
-		samplers := map[string]sampling.Sampler{
-			"regular":       sampling.NewRegular(n),
-			"probabilistic": sampling.NewProbabilistic(n, seed),
-			"geometric":     sampling.NewGeometric(n, seed),
-		}
-		for name, smp := range samplers {
-			st := sampling.CollectTrace(smp, trace)
+	runSweep(ctx, eng, s, 1, len(samplerPeriods), func(_ context.Context, _, point int) []stats.Sample {
+		n := samplerPeriods[point]
+		var out []stats.Sample
+		for _, sc := range []struct {
+			name string
+			smp  sampling.Sampler
+		}{
+			{"regular", sampling.NewRegular(n)},
+			{"probabilistic", sampling.NewProbabilistic(n, seed)},
+			{"geometric", sampling.NewGeometric(n, seed)},
+		} {
+			st := sampling.CollectTrace(sc.smp, trace)
 			rep := sampling.MeasureBias(truth, st, 1/float64(n), 1000)
-			s.Add(float64(n), name, 100*float64(rep.MissedMice)/float64(mice))
+			out = append(out, stats.Sample{
+				X: float64(n), Column: sc.name,
+				Value: 100 * float64(rep.MissedMice) / float64(mice),
+			})
 		}
-	}
+		return out
+	})
 	return s
+}
+
+// ReplayOutcome is one seed's promised-versus-achieved coverage pair
+// from the packet-replay validation.
+type ReplayOutcome struct {
+	Seed               int64
+	Promised, Achieved float64
 }
 
 // ReplayCheck validates a PPME solution by packet replay (the simulate
@@ -401,4 +591,16 @@ func ReplayCheck(ctx context.Context, seed int64, k float64) (promised, achieved
 		return 0, 0, err
 	}
 	return promised, res.Fraction, nil
+}
+
+// ReplayBatch runs ReplayCheck for seeds 0..seeds-1 on the engine and
+// returns the outcomes in seed order.
+func ReplayBatch(ctx context.Context, eng *engine.Runner, seeds int, k float64) ([]ReplayOutcome, error) {
+	return engine.Map(ctx, eng, seeds, func(ctx context.Context, i int) (ReplayOutcome, error) {
+		prom, ach, err := ReplayCheck(ctx, int64(i), k)
+		if err != nil {
+			return ReplayOutcome{}, err
+		}
+		return ReplayOutcome{Seed: int64(i), Promised: prom, Achieved: ach}, nil
+	})
 }

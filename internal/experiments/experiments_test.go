@@ -6,8 +6,132 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
+	"repro/internal/stats"
 	"repro/internal/topology"
 )
+
+// writeSeries renders a series for byte-comparison.
+func writeSeries(t *testing.T, s *stats.Series) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := s.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// The acceptance bar of the engine refactor: for every figure family,
+// a parallel run merges to a byte-identical series. These tests use
+// compact instances so they also run in -short CI (and under -race,
+// where they double as the data-race probe for the solver hot paths).
+
+func TestEngineDeterminismPassive(t *testing.T) {
+	cfg := topology.Config{Routers: 8, InterRouterLinks: 13, Endpoints: 6}
+	serial := PassivePlacementOn(context.Background(), engine.Serial(), cfg, "det", 3, 0)
+	want := writeSeries(t, serial)
+	for _, workers := range []int{4, 16} {
+		eng := engine.New(engine.Options{Workers: workers, Cache: engine.NewCache()})
+		got := writeSeries(t, PassivePlacementOn(context.Background(), eng, cfg, "det", 3, 0))
+		if got != want {
+			t.Fatalf("workers=%d differs from serial:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestEngineDeterminismBeacon(t *testing.T) {
+	cfg := topology.Config{Routers: 10, InterRouterLinks: 18, Endpoints: 6}
+	sweep := []int{4, 8, 10}
+	serial := BeaconPlacementOn(context.Background(), engine.Serial(), cfg, "det", 2, sweep)
+	want := writeSeries(t, serial)
+	eng := engine.New(engine.Options{Workers: 8, Cache: engine.NewCache()})
+	got := writeSeries(t, BeaconPlacementOn(context.Background(), eng, cfg, "det", 2, sweep))
+	if got != want {
+		t.Fatalf("parallel beacon run differs from serial:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEngineDeterminismSamplerBias(t *testing.T) {
+	want := writeSeries(t, SamplerBiasOn(context.Background(), engine.Serial(), 1))
+	got := writeSeries(t, SamplerBiasOn(context.Background(), NewRunner(), 1))
+	if got != want {
+		t.Fatalf("parallel sampler-bias run differs from serial:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEngineCacheCounting(t *testing.T) {
+	cfg := topology.Config{Routers: 8, InterRouterLinks: 13, Endpoints: 6}
+	const seeds = 2
+	cache := engine.NewCache()
+	eng := engine.New(engine.Options{Workers: 8, Cache: cache})
+	first := writeSeries(t, PassivePlacementOn(context.Background(), eng, cfg, "cache", seeds, 0))
+	hits, misses := cache.Counts()
+	// Per seed: one instance build (1 miss + len(KSweep)-1 hits) and
+	// len(KSweep) distinct exact solves (all misses).
+	wantHits, wantMisses := int64(seeds*(len(KSweep)-1)), int64(seeds*(1+len(KSweep)))
+	if hits != wantHits || misses != wantMisses {
+		t.Fatalf("first run: hits/misses = %d/%d, want %d/%d", hits, misses, wantHits, wantMisses)
+	}
+	// A second identical sweep on the same runner is served entirely
+	// from the cache — and still renders identically.
+	second := writeSeries(t, PassivePlacementOn(context.Background(), eng, cfg, "cache", seeds, 0))
+	if second != first {
+		t.Fatal("cached rerun differs from computed run")
+	}
+	hits2, misses2 := cache.Counts()
+	if misses2 != wantMisses {
+		t.Fatalf("rerun recomputed: misses %d -> %d", misses, misses2)
+	}
+	if want := hits + int64(seeds*2*len(KSweep)); hits2 != want {
+		t.Fatalf("rerun hits = %d, want %d", hits2, want)
+	}
+	if eng.Stats().Nodes <= 0 {
+		t.Fatal("engine did not aggregate solve stats")
+	}
+}
+
+func TestDynamicAndReplayBatchSeedOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run in -short mode")
+	}
+	eng := NewRunner()
+	outs, err := ReplayBatch(context.Background(), eng, 3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	for i, o := range outs {
+		if o.Seed != int64(i) {
+			t.Fatalf("outcome %d carries seed %d", i, o.Seed)
+		}
+		prom, ach, err := ReplayCheck(context.Background(), int64(i), 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Promised != prom || o.Achieved != ach {
+			t.Fatalf("seed %d: batch (%g,%g) != serial (%g,%g)", i, o.Promised, o.Achieved, prom, ach)
+		}
+	}
+	dyn, err := DynamicBatch(context.Background(), eng, 2, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn) != 2 {
+		t.Fatalf("got %d dynamic results", len(dyn))
+	}
+	for i, d := range dyn {
+		ref, err := Dynamic(context.Background(), int64(i), 3, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rounds != ref.Rounds || d.Recomputes != ref.Recomputes ||
+			d.MinCoverage != ref.MinCoverage || d.FinalCoverage != ref.FinalCoverage {
+			t.Fatalf("seed %d: batch %+v != serial %+v", i, d, ref)
+		}
+	}
+}
 
 func TestFig7ShapeOneSeed(t *testing.T) {
 	if testing.Short() {

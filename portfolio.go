@@ -4,8 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Portfolio races several registered solvers on the same problem and
@@ -65,23 +66,22 @@ func (p *Portfolio) Solve(ctx context.Context, problem Problem, opts ...Option) 
 		res *Result
 		err error
 	}
-	outcomes := make([]outcome, len(solvers))
-	var wg sync.WaitGroup
-	for i, s := range solvers {
-		wg.Add(1)
-		go func(i int, s Solver) {
-			defer wg.Done()
+	// The race runs on the scenario engine with one worker per member
+	// (a portfolio's whole point is concurrent members under a shared
+	// deadline); member failures are collected, not fatal, so the task
+	// function never errors. Map returns outcomes in member order, which
+	// keeps the best-result scan below deterministic.
+	outcomes, _ := engine.Map(ctx, engine.New(engine.Options{Workers: len(solvers)}),
+		len(solvers), func(ctx context.Context, i int) (outcome, error) {
 			// Deadline options are already on ctx; members receive the
 			// remaining (non-deadline) knobs through opts.
-			res, err := s.Solve(ctx, problem, opts...)
-			outcomes[i] = outcome{res, err}
+			res, err := solvers[i].Solve(ctx, problem, opts...)
 			if err == nil && res.Optimal {
 				// A proven optimum cannot be beaten: stop the rest.
 				cancel()
 			}
-		}(i, s)
-	}
-	wg.Wait()
+			return outcome{res, err}, nil
+		})
 
 	var best *Result
 	var errs []error
