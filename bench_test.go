@@ -185,6 +185,79 @@ func fig7CoverMIP(in *Instance, opts mip.Options) *mip.Problem {
 	return p
 }
 
+// BenchmarkAblationTree is the root-strengthening before/after: the
+// Figure 7 cover MIP solved on the plain tree, with presolve alone,
+// and with the full pipeline (presolve + cover/clique cuts +
+// reduced-cost fixing + pseudo-cost branching). Besides wall time it
+// reports explored nodes per solve, the tree-size trajectory the
+// pipeline exists to shrink. The beacon variant runs the same ablation
+// on a §6-style vertex-cover ILP (triangulated probe conflicts), where
+// root clique cuts close most of the integrality gap outright.
+func BenchmarkAblationTree(b *testing.B) {
+	variants := []struct {
+		name string
+		opts mip.Options
+	}{
+		{"PlainTree", mip.Options{Tree: mip.AlgoPlainTree}},
+		{"Presolve", mip.Options{NoCuts: true, NoFixing: true, NoStrongBranch: true, Branching: mip.MostFractional}},
+		{"Full", mip.Options{}},
+	}
+	in := fig7Instance(3)
+	for _, v := range variants {
+		b.Run("Fig7MIP/"+v.name, func(b *testing.B) {
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				s, err := fig7CoverMIP(in, v.opts).Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += s.Nodes
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
+	for _, v := range variants {
+		b.Run("BeaconILP/"+v.name, func(b *testing.B) {
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				s, err := beaconStyleILP(v.opts).Solve()
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += s.Nodes
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
+}
+
+// beaconStyleILP builds a §6-shaped vertex-cover ILP: probes between
+// node pairs of a triangulated random graph, each needing a beacon at
+// one extremity. The odd structure leaves the LP relaxation at 1/2
+// everywhere, so the plain tree branches heavily while clique cuts
+// close the gap at the root.
+func beaconStyleILP(opts mip.Options) *mip.Problem {
+	rng := rand.New(rand.NewSource(41))
+	p := mip.NewProblem(lp.Minimize)
+	n := 30
+	ys := make([]lp.Var, n)
+	for i := range ys {
+		ys[i] = p.AddBinaryVariable("y", 1)
+	}
+	// Triangles over random node triples: pairwise probe constraints.
+	for t := 0; t < 40; t++ {
+		a, bb, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if a == bb || bb == c || a == c {
+			continue
+		}
+		p.AddConstraint(lp.GE, 1, lp.Term{Var: ys[a], Coef: 1}, lp.Term{Var: ys[bb], Coef: 1})
+		p.AddConstraint(lp.GE, 1, lp.Term{Var: ys[bb], Coef: 1}, lp.Term{Var: ys[c], Coef: 1})
+		p.AddConstraint(lp.GE, 1, lp.Term{Var: ys[a], Coef: 1}, lp.Term{Var: ys[c], Coef: 1})
+	}
+	p.SetOptions(opts)
+	return p
+}
+
 // BenchmarkAblationBranching compares the two branch-and-bound
 // branching rules on the Figure 7 MIP.
 func BenchmarkAblationBranching(b *testing.B) {

@@ -86,8 +86,8 @@ func run(args []string, out, progress io.Writer) error {
 		}
 		hits, misses := eng.Cache().Counts()
 		st := eng.Stats()
-		fmt.Fprintf(progress, "repro: %-8s %8.2fs  workers=%d cells=%d cache=%d/%d hit/miss  nodes=%d pivots=%d\n",
-			name, time.Since(start).Seconds(), eng.Workers(), eng.Tasks(), hits, misses, st.Nodes, st.Pivots)
+		fmt.Fprintf(progress, "repro: %-8s %8.2fs  workers=%d cells=%d cache=%d/%d hit/miss  nodes=%d pivots=%d cuts=%d fixed=%d\n",
+			name, time.Since(start).Seconds(), eng.Workers(), eng.Tasks(), hits, misses, st.Nodes, st.Pivots, st.CutsAdded, st.VarsFixed)
 		return nil
 	}
 
@@ -204,6 +204,13 @@ type benchReport struct {
 type benchEntry struct {
 	Name   string  `json:"name"`
 	WallMS float64 `json:"wall_ms"`
+	// Solver effort aggregated over the figure's engine: branch-and-
+	// bound nodes, simplex pivots, and cutting planes added. They track
+	// the tree-size trajectory across PRs alongside the wall clock
+	// (dynamic and replay run off-engine and report zeros).
+	Nodes  int `json:"nodes"`
+	Pivots int `json:"pivots"`
+	Cuts   int `json:"cuts"`
 }
 
 // writeBenchJSON times the selected figures (-figure, default all)
@@ -261,8 +268,10 @@ func writeBenchJSON(ctx context.Context, path, figure string, seeds, parallel in
 			return fmt.Errorf("bench %s: %w", f.name, err)
 		}
 		ms := float64(time.Since(start).Microseconds()) / 1000
-		report.Figures = append(report.Figures, benchEntry{Name: f.name, WallMS: ms})
-		fmt.Fprintf(log, "bench %-10s %10.1f ms\n", f.name, ms)
+		st := eng.Stats()
+		report.Figures = append(report.Figures, benchEntry{Name: f.name, WallMS: ms,
+			Nodes: st.Nodes, Pivots: st.Pivots, Cuts: st.CutsAdded})
+		fmt.Fprintf(log, "bench %-10s %10.1f ms  nodes=%d pivots=%d cuts=%d\n", f.name, ms, st.Nodes, st.Pivots, st.CutsAdded)
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q", figure)

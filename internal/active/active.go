@@ -88,7 +88,7 @@ func ComputeProbes(g *graph.Graph, candidates []graph.NodeID) (ProbeSet, error) 
 	// what gives the placement phase freedom (either extremity can be
 	// the sender). Extend-across probes to a link's far end are added
 	// only as a fallback for links no pair path crosses.
-	var pairProbes, fallProbes []Probe
+	var pairProbes []Probe
 	trees := make(map[graph.NodeID]map[graph.NodeID]graph.Path, len(candidates))
 	for _, u := range candidates {
 		trees[u] = g.ShortestPaths(u)
@@ -100,45 +100,67 @@ func ComputeProbes(g *graph.Graph, candidates []graph.NodeID) (ProbeSet, error) 
 			}
 		}
 	}
-	for _, u := range candidates {
-		for _, e := range g.Edges() {
-			if p, ok := extendAcross(g, trees[u], u, e); ok {
-				fallProbes = append(fallProbes, p)
+	pairProbes = dedupeProbes(pairProbes)
+	// Extend-across fallback probes are generated lazily: on the
+	// paper's instances the beacon-pair paths almost always cover every
+	// link, so the candidates×edges fallback sweep (and its path
+	// clones) would be pure waste in the common case.
+	fallbacks := func() []Probe {
+		var fall []Probe
+		for _, u := range candidates {
+			for _, e := range g.Edges() {
+				if p, ok := extendAcross(g, trees[u], u, e); ok {
+					fall = append(fall, p)
+				}
 			}
 		}
+		return dedupeProbes(fall)
 	}
-	pairProbes = dedupeProbes(pairProbes)
-	fallProbes = dedupeProbes(fallProbes)
 
 	// Greedy link cover in two passes: beacon-pair probes first, then
 	// fallback probes for whatever remains uncoverable by pair paths.
+	// Gains are maintained incrementally (edge → probes index,
+	// decremented as edges become covered) instead of rescanning every
+	// probe path each round — the historical scan dominated the Figure
+	// 10/11 and §7 large-POP wall time.
 	covered := make([]bool, g.NumEdges())
 	remaining := g.NumEdges()
 	var chosen []Probe
-	for _, cand := range [][]Probe{pairProbes, fallProbes} {
+	for pass := 0; pass < 2 && remaining > 0; pass++ {
+		cand := pairProbes
+		if pass == 1 {
+			cand = fallbacks()
+		}
+		onEdge := make([][]int32, g.NumEdges())
+		gain := make([]int, len(cand))
+		for i, p := range cand {
+			for _, e := range p.Path.Edges {
+				if !covered[e] {
+					gain[i]++
+					onEdge[e] = append(onEdge[e], int32(i))
+				}
+			}
+		}
 		for remaining > 0 {
 			best, bestGain := -1, 0
-			for i, p := range cand {
-				gain := 0
-				for _, e := range p.Path.Edges {
-					if !covered[e] {
-						gain++
-					}
-				}
-				if gain > bestGain {
-					best, bestGain = i, gain
+			for i, gn := range gain {
+				if gn > bestGain {
+					best, bestGain = i, gn
 				}
 			}
 			if best < 0 {
 				break // this pass can add nothing more
 			}
-			chosen = append(chosen, cand[best])
 			for _, e := range cand[best].Path.Edges {
 				if !covered[e] {
 					covered[e] = true
 					remaining--
+					for _, pi := range onEdge[e] {
+						gain[pi]--
+					}
 				}
 			}
+			chosen = append(chosen, cand[best])
 		}
 	}
 	if remaining > 0 {
@@ -197,13 +219,16 @@ func extendAcross(g *graph.Graph, paths map[graph.NodeID]graph.Path, u graph.Nod
 }
 
 func dedupeProbes(probes []Probe) []Probe {
-	type key string
-	seen := make(map[key]bool, len(probes))
+	seen := make(map[string]bool, len(probes))
 	var out []Probe
+	var buf []byte
 	for _, p := range probes {
-		k := key(fmt.Sprint(p.Path.Edges))
-		if !seen[k] {
-			seen[k] = true
+		buf = buf[:0]
+		for _, e := range p.Path.Edges {
+			buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+		}
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
 			out = append(out, p)
 		}
 	}
@@ -390,6 +415,8 @@ type ILPOptions struct {
 	MaxNodes int
 	// Gap is the absolute optimality gap for pruning (0 = default).
 	Gap float64
+	// RelGap is the relative optimality gap (0 = off); see mip.Options.
+	RelGap float64
 }
 
 // PlaceILPOpts is PlaceILP with explicit branch-and-bound knobs.
@@ -433,7 +460,7 @@ func PlaceILPOpts(ctx context.Context, ps ProbeSet, opts ILPOptions) (Placement,
 		return finishPlacement(ps, map[graph.NodeID]bool{}, true, "ilp")
 	}
 	// Warm start from the greedy placement.
-	mo := mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap}
+	mo := mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap, RelGap: opts.RelGap}
 	if gr, err := PlaceGreedy(ps); err == nil {
 		inc := make([]float64, p.NumVariables())
 		for _, b := range gr.Beacons {
@@ -470,7 +497,9 @@ func PlaceILPOpts(ctx context.Context, ps ProbeSet, opts ILPOptions) (Placement,
 		return Placement{}, err
 	}
 	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
-		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts,
+		CutsAdded: sol.CutsAdded, VarsFixed: sol.VarsFixed, PresolveRemoved: sol.PresolveRemoved,
+		StrongBranches: sol.StrongBranches, Bound: sol.Bound}
 	return pl, nil
 }
 

@@ -32,6 +32,19 @@ type SolveStats struct {
 	// WarmStarts is the number of branch-and-bound nodes whose LP
 	// relaxation was warm-started from the parent's basis.
 	WarmStarts int
+	// CutsAdded is the number of cutting planes (lifted cover and
+	// clique cuts) the MIP root separation added.
+	CutsAdded int
+	// VarsFixed is the number of variables permanently fixed by
+	// reduced-cost fixing (MIP root and incumbent improvements, plus
+	// the cover solver's reduced-cost set exclusions).
+	VarsFixed int
+	// PresolveRemoved is the number of columns and rows the MIP
+	// presolve removed before the root solve.
+	PresolveRemoved int
+	// StrongBranches is the number of strong-branching probe LPs solved
+	// to initialize pseudo-cost branching.
+	StrongBranches int
 	// Bound is the best proven bound on the objective; it equals the
 	// objective at optimality and is meaningful only when Proven or an
 	// early-stopped exact search produced it.

@@ -15,6 +15,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+
+	"repro/internal/lp"
 )
 
 // Instance is a (partial) set cover instance. Elements are 0..NumElements-1.
@@ -110,6 +112,9 @@ type Result struct {
 	Exact bool
 	// Nodes counts branch-and-bound nodes (exact solver only).
 	Nodes int
+	// SetsBanned counts the sets permanently excluded by the root LP's
+	// reduced-cost fixing (exact solver only).
+	SetsBanned int
 }
 
 // GreedyPartial runs the classical greedy for Minimum Partial Cover: it
@@ -238,7 +243,7 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 		reduced, reducedTarget := dropDominatedElements(searchIn, excluded)
 		s.in, s.target = reduced, reducedTarget
 		forced = forceUniqueCoverers(reduced, excluded, covered)
-		s.prepareDisjointBound(excluded)
+		s.prepareDisjointBound(excluded, covered)
 	}
 	coveredW := 0.0
 	for e := 0; e < s.in.NumElements; e++ {
@@ -247,13 +252,19 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 		}
 	}
 	s.prepareGains(covered, excluded)
-	s.search(covered, coveredW, forced, excluded)
+	s.rootExcluded, s.forced = excluded, forced
+	s.search(covered, coveredW, forced)
 
 	res := Result{
 		Chosen:   s.best,
 		Feasible: true,
 		Exact:    !s.capped,
 		Nodes:    s.nodes,
+	}
+	for _, b := range s.banned {
+		if b {
+			res.SetsBanned++
+		}
 	}
 	final := newBitset(in.NumElements)
 	for _, si := range s.best {
@@ -399,6 +410,24 @@ type exactSearch struct {
 	maxN    int
 	capped  bool
 
+	// Root LP strengthening state (the set-cover face of the MIP
+	// pipeline, see DESIGN.md §4). The LP is lazy: only a search that
+	// passes coverLPTrigger nodes pays for the solve (lpTried). lpZ is
+	// the relaxation objective, lpDj the per-set reduced costs (nil
+	// when the LP was skipped or failed), rootLB = ceil(lpZ) the
+	// global lower bound, banned the sets excluded by reduced cost
+	// against the current incumbent, and doneOptimal flips when the
+	// incumbent meets rootLB (the rest of the tree cannot improve and
+	// the search stops, still exact).
+	lpTried      bool
+	lpZ          float64
+	lpDj         []float64
+	rootLB       int
+	banned       []bool
+	doneOptimal  bool
+	rootExcluded []bool
+	forced       []int
+
 	// Disjoint-elements bound state (full covers only): per-element
 	// covering-set bitmaps in a processing order of increasing coverer
 	// count. Elements pairwise sharing no covering set each require a
@@ -406,6 +435,9 @@ type exactSearch struct {
 	// remaining cover.
 	elemCoverers []bitset
 	elemOrder    []int
+	disjointUsed bitset  // scratch family-coverer union
+	permPos      []int32 // element → elemOrder position (-1 = untracked)
+	permCovered  bitset  // covered, permuted into elemOrder positions
 
 	// Incremental residual-gain state: gains[si] is the uncovered
 	// weight of set si, updated in place as include branches flip
@@ -443,7 +475,9 @@ func (s *exactSearch) prepareGains(covered bitset, excluded []bool) {
 
 // prepareDisjointBound precomputes the per-element covering-set bitmaps
 // over non-excluded sets and a fewest-coverers-first element order.
-func (s *exactSearch) prepareDisjointBound(excluded []bool) {
+// covered seeds the permuted mirror with the already-covered elements
+// (forced unique coverers).
+func (s *exactSearch) prepareDisjointBound(excluded []bool, covered bitset) {
 	n := s.in.NumElements
 	s.elemCoverers = make([]bitset, n)
 	counts := make([]int, n)
@@ -465,40 +499,178 @@ func (s *exactSearch) prepareDisjointBound(excluded []bool) {
 		}
 	}
 	sort.Slice(s.elemOrder, func(a, b int) bool { return counts[s.elemOrder[a]] < counts[s.elemOrder[b]] })
+	s.disjointUsed = newBitset(len(s.in.Sets))
+	// Mirror of `covered` permuted into elemOrder positions, maintained
+	// by include()'s flip/undo, so the bound scan skips covered
+	// elements a word at a time instead of probing them one by one.
+	s.permPos = make([]int32, n)
+	for e := range s.permPos {
+		s.permPos[e] = -1
+	}
+	for pi, e := range s.elemOrder {
+		s.permPos[e] = int32(pi)
+	}
+	s.permCovered = newBitset(len(s.elemOrder))
+	for pi, e := range s.elemOrder {
+		if covered.get(e) {
+			s.permCovered.set(pi)
+		}
+	}
 }
 
 // disjointBound greedily builds a family of uncovered elements whose
 // covering sets are pairwise disjoint; its size is a valid lower bound
 // on the number of additional sets (each chosen set covers at most one
 // family member). Using the root covering sets is conservative under
-// branching exclusions, hence still valid.
-func (s *exactSearch) disjointBound(covered bitset) int {
-	if s.elemOrder == nil {
+// branching exclusions, hence still valid. The build stops as soon as
+// the bound reaches `enough` (the caller prunes at that point, so a
+// sharper value is never needed).
+func (s *exactSearch) disjointBound(enough int) int {
+	if s.elemOrder == nil || enough <= 0 {
 		return 0
 	}
-	used := newBitset(len(s.in.Sets))
+	used := s.disjointUsed
+	for i := range used {
+		used[i] = 0
+	}
 	bound := 0
-	for _, e := range s.elemOrder {
-		if covered.get(e) {
-			continue
+	// Scan uncovered elements word-wise through the permuted mirror:
+	// the element order is identical to the historical per-element
+	// probe, so the bound value (and hence the tree) never changes.
+	n := len(s.elemOrder)
+	for wi, w := range s.permCovered {
+		free := ^w
+		if base := wi * 64; base+64 > n {
+			free &= (1 << uint(n-base)) - 1
 		}
-		conflict := false
-		ec := s.elemCoverers[e]
-		for i, w := range ec {
-			if w&used[i] != 0 {
-				conflict = true
-				break
+		for free != 0 {
+			bit := bits.TrailingZeros64(free)
+			free &= free - 1
+			e := s.elemOrder[wi*64+bit]
+			conflict := false
+			ec := s.elemCoverers[e]
+			for i, cw := range ec {
+				if cw&used[i] != 0 {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			for i, cw := range ec {
+				used[i] |= cw
+			}
+			bound++
+			if bound >= enough {
+				return bound
 			}
 		}
-		if conflict {
-			continue
-		}
-		for i, w := range ec {
-			used[i] |= w
-		}
-		bound++
 	}
 	return bound
+}
+
+// rootLPRowCap skips the root LP on instances whose relaxation would
+// have more element rows than this: on the paper's large partial-cover
+// instances the covering LP is both degenerate (tens of thousands of
+// pivots) and weak (a structural integrality gap), so it cannot pay
+// for itself. coverLPTrigger makes the LP lazy — only searches that
+// already burned that many nodes buy the bound.
+const rootLPRowCap = 300
+
+// coverLPTrigger is a var only so the test suite can force the lazy LP
+// on tiny searches; production code never writes it.
+var coverLPTrigger = 2048
+
+// isBanned reports whether reduced-cost fixing excluded the set.
+func (s *exactSearch) isBanned(si int) bool {
+	return s.banned != nil && s.banned[si]
+}
+
+// refreshBans re-applies the reduced-cost exclusion test against the
+// current incumbent: a cover containing set si costs at least
+// lpZ + dj_si, so when that exceeds bestLen−1 no improving cover uses
+// si. Bans only grow as the incumbent improves.
+func (s *exactSearch) refreshBans() {
+	cut := float64(s.bestLen-1) + 1e-6
+	for si, dj := range s.lpDj {
+		if !s.banned[si] && s.lpZ+dj > cut {
+			s.banned[si] = true
+		}
+	}
+}
+
+// rootLP solves the LP relaxation of the (reduced) partial-cover
+// instance: min Σ x_s subject to δ_e ≤ Σ_{s∋e} x_s, Σ w_e·δ_e ≥ target,
+// x over the non-excluded sets (forced sets pinned to 1). It returns
+// the objective and the per-set reduced costs for reduced-cost fixing;
+// ok is false when the LP was canceled or failed (the search then just
+// runs unstrenghtened).
+func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, forced []int) (z float64, dj []float64, ok bool) {
+	rows := 0
+	for e := 0; e < in.NumElements; e++ {
+		if in.weight(e) != 0 {
+			rows++
+		}
+	}
+	if rows > rootLPRowCap {
+		return 0, nil, false
+	}
+	p := lp.NewProblem(lp.Minimize)
+	p.SetExtractDuals(true)
+	xs := make([]lp.Var, len(in.Sets))
+	isForced := make([]bool, len(in.Sets))
+	for _, si := range forced {
+		isForced[si] = true
+	}
+	for si := range in.Sets {
+		lo, hi := 0.0, 1.0
+		switch {
+		case excluded[si]:
+			hi = 0
+		case isForced[si]:
+			lo = 1
+		}
+		xs[si] = p.AddVariable("x", lo, hi, 1)
+	}
+	coverers := make([][]int32, in.NumElements)
+	for si, set := range in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range set {
+			coverers[e] = append(coverers[e], int32(si))
+		}
+	}
+	var covTerms []lp.Term
+	for e := 0; e < in.NumElements; e++ {
+		w := in.weight(e)
+		if w == 0 {
+			continue
+		}
+		d := p.AddVariable("d", 0, 1, 0)
+		covTerms = append(covTerms, lp.Term{Var: d, Coef: w})
+		terms := make([]lp.Term, 0, len(coverers[e])+1)
+		terms = append(terms, lp.Term{Var: d, Coef: -1})
+		prev := int32(-1)
+		for _, si := range coverers[e] {
+			if si != prev { // a set may list an element twice
+				terms = append(terms, lp.Term{Var: xs[si], Coef: 1})
+			}
+			prev = si
+		}
+		p.AddConstraint(lp.GE, 0, terms...)
+	}
+	p.AddConstraint(lp.GE, target, covTerms...)
+	sol, err := p.SolveContext(ctx)
+	if err != nil || sol.Status != lp.Optimal || sol.ReducedCosts == nil {
+		return 0, nil, false
+	}
+	dj = make([]float64, len(in.Sets))
+	for si := range in.Sets {
+		dj[si] = sol.ReducedCosts[xs[si]]
+	}
+	return sol.Objective, dj, true
 }
 
 // mergeSignatures collapses elements covered by exactly the same sets
@@ -545,50 +717,112 @@ func mergeSignatures(in Instance, target float64) (Instance, float64) {
 	return Instance{NumElements: len(weights), Weights: weights, Sets: sets}, target
 }
 
-// lowerBound returns the minimum number of additional sets needed to
-// cover `remaining` weight, pretending sets never overlap (optimistic,
-// hence a valid bound). Selection stops at maxUseful — the caller's
-// prune test needs nothing sharper — so the common case extracts a few
-// maxima instead of sorting every gain.
-func (s *exactSearch) lowerBound(remaining float64, maxUseful int, excluded []bool) int {
-	if remaining <= 1e-12 {
-		return 0
-	}
+// boundAndBranch fuses the two per-node scans over the residual gains:
+// it returns the additive lower bound on the number of additional sets
+// needed to cover `remaining` weight (pretending sets never overlap —
+// optimistic, hence valid) and the branching set (largest residual
+// gain; -1 when none is usable). Selection stops at maxUseful — the
+// caller's prune test needs nothing sharper. Cheap one-pass outcomes
+// (one set suffices / the target is unreachable) skip the selection
+// entirely; otherwise the top gains are extracted by repeated maxima
+// when few are needed and by one descending insertion sort when many
+// are.
+func (s *exactSearch) boundAndBranch(remaining float64, maxUseful int) (int, int) {
 	buf := s.scratch[:0]
-	for si, g := range s.gains {
-		if g > 0 && !excluded[si] {
-			buf = append(buf, g)
+	branch := -1
+	g1, sum := 0.0, 0.0
+	if s.banned == nil {
+		for si, g := range s.gains {
+			if g > 0 {
+				buf = append(buf, g)
+				sum += g
+				if g > g1 {
+					g1 = g
+					branch = si
+				}
+			}
+		}
+	} else {
+		for si, g := range s.gains {
+			if g > 0 && !s.banned[si] {
+				buf = append(buf, g)
+				sum += g
+				if g > g1 {
+					g1 = g
+					branch = si
+				}
+			}
 		}
 	}
 	s.scratch = buf
-	need := 0
-	for {
-		if len(buf) == 0 {
-			return math.MaxInt32 // cannot reach the target at all
-		}
-		if need >= maxUseful {
-			// At least maxUseful more sets are required; that already
-			// prunes, so stop selecting.
-			return maxUseful
-		}
-		mi := 0
-		for i := 1; i < len(buf); i++ {
-			if buf[i] > buf[mi] {
-				mi = i
+	switch {
+	case remaining <= 1e-12:
+		return 0, branch
+	case remaining <= g1:
+		return 1, branch
+	case sum < remaining-1e-12:
+		// Tolerance matches the incumbent acceptance test: a node whose
+		// total residual gain is within float drift of the target is
+		// still completable, not infeasible.
+		return math.MaxInt32, branch
+	case maxUseful <= 2:
+		// Two sets never suffice here (remaining > g1 rules out one,
+		// and the caller prunes at maxUseful anyway).
+		return 2, branch
+	}
+	if cheap := int(math.Ceil(remaining/g1 - 1e-12)); cheap >= maxUseful {
+		// O(1) ceiling bound: every gain is at most g1, so at least
+		// remaining/g1 more sets are needed — already enough to prune.
+		return maxUseful, branch
+	}
+	if maxUseful*4 < len(buf) {
+		// Few selections needed: repeated max extraction is cheaper
+		// than sorting the whole candidate list.
+		need := 0
+		for {
+			if need >= maxUseful {
+				return maxUseful, branch
 			}
+			mi := 0
+			for i := 1; i < len(buf); i++ {
+				if buf[i] > buf[mi] {
+					mi = i
+				}
+			}
+			remaining -= buf[mi]
+			need++
+			if remaining <= 1e-12 {
+				return need, branch
+			}
+			buf[mi] = buf[len(buf)-1]
+			buf = buf[:len(buf)-1]
 		}
-		remaining -= buf[mi]
+	}
+	for i := 1; i < len(buf); i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= 0 && buf[j] < v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+	need := 0
+	for _, g := range buf {
+		if need >= maxUseful {
+			return maxUseful, branch
+		}
+		remaining -= g
 		need++
 		if remaining <= 1e-12 {
-			return need
+			return need, branch
 		}
-		buf[mi] = buf[len(buf)-1]
-		buf = buf[:len(buf)-1]
 	}
+	return math.MaxInt32, branch
 }
 
-func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, excluded []bool) {
-	if s.capped {
+func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int) {
+	if s.capped || s.doneOptimal {
 		return
 	}
 	s.nodes++
@@ -602,10 +836,36 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, exc
 		s.capped = true
 		return
 	}
+	// Lazy root-LP strengthening: a search that proved nontrivial pays
+	// one LP solve for a global lower bound (stop as soon as any
+	// incumbent meets it, proven optimal) and reduced-cost set bans.
+	if !s.lpTried && s.nodes >= coverLPTrigger {
+		s.lpTried = true
+		if z, dj, ok := rootLP(s.ctx, s.in, s.target, s.rootExcluded, s.forced); ok {
+			s.lpZ, s.lpDj = z, dj
+			s.rootLB = int(math.Ceil(z - 1e-6))
+			s.banned = make([]bool, len(s.in.Sets))
+			s.refreshBans()
+			if s.bestLen <= s.rootLB {
+				s.doneOptimal = true
+				return
+			}
+		}
+	}
 	if coveredW >= s.target-1e-12 {
 		if len(chosen) < s.bestLen {
 			s.bestLen = len(chosen)
 			s.best = append([]int(nil), chosen...)
+			if s.lpDj != nil {
+				// An incumbent at the LP bound is proven optimal: stop
+				// the whole search. Otherwise tighten the reduced-cost
+				// exclusions against the improved cutoff.
+				if s.bestLen <= s.rootLB {
+					s.doneOptimal = true
+					return
+				}
+				s.refreshBans()
+			}
 		}
 		return
 	}
@@ -615,41 +875,41 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int, exc
 		return
 	}
 
-	lb := s.lowerBound(s.target-coveredW, s.bestLen-len(chosen), excluded)
+	// One fused pass yields the additive bound and the branching set
+	// (largest residual gain).
+	lb, branch := s.boundAndBranch(s.target-coveredW, s.bestLen-len(chosen))
 	if len(chosen)+lb >= s.bestLen {
 		return
 	}
 	// The disjoint-family bound is the costlier one: only consult it on
-	// nodes the additive bound failed to prune.
-	if db := s.disjointBound(covered); db > lb {
-		if len(chosen)+db >= s.bestLen {
+	// nodes the additive bound failed to prune, and only until it
+	// reaches pruning strength.
+	if s.elemOrder != nil {
+		if db := s.disjointBound(s.bestLen - len(chosen)); len(chosen)+db >= s.bestLen {
 			return
-		}
-	}
-	// Branch on the set with the largest residual gain.
-	branch := -1
-	bg := 0.0
-	for si, g := range s.gains {
-		if !excluded[si] && g > bg {
-			bg, branch = g, si
 		}
 	}
 	if branch < 0 {
 		return // nothing left to add
 	}
 	// Include branch first: mimics the greedy and finds incumbents fast.
-	s.include(covered, coveredW, chosen, excluded, branch)
-	// Exclude branch.
-	excluded[branch] = true
-	s.search(covered, coveredW, chosen, excluded)
-	excluded[branch] = false
+	s.include(covered, coveredW, chosen, branch)
+	// Exclude branch: zeroing the set's residual gain removes it from
+	// the bound, the branch selection and the feasibility sum in one
+	// store (root-excluded sets already sit at gain 0 the same way).
+	// Nested includes only ever decrement the gain and their undo
+	// stacks restore it exactly, so the final restore is exact too.
+	saved := s.gains[branch]
+	s.gains[branch] = 0
+	s.search(covered, coveredW, chosen)
+	s.gains[branch] = saved
 }
 
 // include descends into the branch that takes set si. covered and the
 // residual gains are updated in place and restored exactly afterwards
 // (prior gain values are re-installed from the undo stack in reverse,
 // so backtracking never accumulates float drift).
-func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, excluded []bool, si int) {
+func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, si int) {
 	markT, markF := len(s.undoT), len(s.flip)
 	w := coveredW
 	for _, e := range s.in.Sets[si] {
@@ -657,6 +917,11 @@ func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, ex
 			continue
 		}
 		covered.set(e)
+		if s.permPos != nil {
+			if p := s.permPos[e]; p >= 0 {
+				s.permCovered.set(int(p))
+			}
+		}
 		s.flip = append(s.flip, int32(e))
 		we := s.in.weight(e)
 		w += we
@@ -666,14 +931,20 @@ func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, ex
 			s.gains[t] -= we
 		}
 	}
-	s.search(covered, w, append(chosen, si), excluded)
+	s.search(covered, w, append(chosen, si))
 	for i := len(s.undoT) - 1; i >= markT; i-- {
 		s.gains[s.undoT[i]] = s.undoG[i]
 	}
 	s.undoT = s.undoT[:markT]
 	s.undoG = s.undoG[:markT]
 	for i := len(s.flip) - 1; i >= markF; i-- {
-		covered.unset(int(s.flip[i]))
+		e := int(s.flip[i])
+		covered.unset(e)
+		if s.permPos != nil {
+			if p := s.permPos[e]; p >= 0 {
+				s.permCovered.unset(int(p))
+			}
+		}
 	}
 	s.flip = s.flip[:markF]
 }

@@ -78,6 +78,10 @@ func (r *Runner) AddStats(st core.SolveStats) {
 	r.stats.Refactorizations += st.Refactorizations
 	r.stats.DevexResets += st.DevexResets
 	r.stats.WarmStarts += st.WarmStarts
+	r.stats.CutsAdded += st.CutsAdded
+	r.stats.VarsFixed += st.VarsFixed
+	r.stats.PresolveRemoved += st.PresolveRemoved
+	r.stats.StrongBranches += st.StrongBranches
 	r.mu.Unlock()
 }
 

@@ -1,12 +1,14 @@
 // Package lp implements a self-contained linear-programming solver. The
 // default algorithm is a sparse revised simplex: the constraint matrix is
 // stored column-major in compressed sparse form, the basis inverse is
-// maintained as an LU factorization plus a product-form eta file
-// (periodically refactorized), pricing is Devex with a Bland anti-cycling
-// fallback, and warm starts from a saved Basis restore feasibility with a
-// bounded dual simplex. A dense two-phase tableau simplex is retained as
-// the reference oracle (AlgoDenseTableau) for property tests and
-// ablations.
+// maintained as a sparse LU factorization (triangular peeling plus a
+// dense bump, see lu.go) with a product-form eta file (periodically
+// refactorized), pricing is Devex with a Bland anti-cycling fallback,
+// and warm starts from a saved Basis restore feasibility with a bounded
+// dual simplex. Optimal solves can expose row duals and reduced costs
+// (SetExtractDuals) for the MIP layer's reduced-cost fixing. A dense
+// two-phase tableau simplex is retained as the reference oracle
+// (AlgoDenseTableau) for property tests and ablations.
 //
 // The paper solves its placement formulations with CPLEX; this package is
 // the from-scratch substitute (see DESIGN.md §4). Every solve is
@@ -125,15 +127,16 @@ var Inf = math.Inf(1)
 // Problem is a linear program under construction. Create one with
 // NewProblem, add variables and constraints, then call Solve.
 type Problem struct {
-	sense   Sense
-	names   []string
-	lower   []float64
-	upper   []float64
-	cost    []float64
-	rows    []row
-	maxIter int
-	algo    Algorithm
-	pricing Pricing
+	sense        Sense
+	names        []string
+	lower        []float64
+	upper        []float64
+	cost         []float64
+	rows         []row
+	maxIter      int
+	algo         Algorithm
+	pricing      Pricing
+	extractDuals bool
 }
 
 type row struct {
@@ -201,6 +204,39 @@ func (p *Problem) SetBounds(v Var, lower, upper float64) {
 // SetCost replaces the objective coefficient of v.
 func (p *Problem) SetCost(v Var, cost float64) { p.cost[v] = cost }
 
+// Cost returns the objective coefficient of v.
+func (p *Problem) Cost(v Var) float64 { return p.cost[v] }
+
+// Sense returns the optimization direction the problem was created with.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// ConstraintRow returns constraint i as (relation, rhs, terms). The
+// returned term slice is the problem's own storage and must not be
+// modified; duplicate variables may appear and are additive. It exists
+// so the MIP layer can presolve and separate cutting planes without a
+// private copy of the model.
+func (p *Problem) ConstraintRow(i int) (Rel, float64, []Term) {
+	r := p.rows[i]
+	return r.rel, r.rhs, r.terms
+}
+
+// TruncateConstraints drops every constraint with index >= n. The MIP
+// root-strengthening loop uses it to roll back cutting planes whose
+// re-solve ran into trouble; n must not exceed NumConstraints.
+func (p *Problem) TruncateConstraints(n int) {
+	if n < 0 || n > len(p.rows) {
+		panic(fmt.Sprintf("lp: truncate to %d of %d rows", n, len(p.rows)))
+	}
+	p.rows = p.rows[:n]
+}
+
+// SetExtractDuals toggles extraction of row duals and structural
+// reduced costs into Solution.Duals / Solution.ReducedCosts on optimal
+// revised-simplex solves. It is off by default: the branch-and-bound
+// MIP only needs them at the root, and extraction costs one extra
+// BTRAN plus a pass over the matrix per solve.
+func (p *Problem) SetExtractDuals(on bool) { p.extractDuals = on }
+
 // AddConstraint adds the linear constraint Σ terms rel rhs. Terms
 // referencing the same variable are accumulated.
 func (p *Problem) AddConstraint(rel Rel, rhs float64, terms ...Term) {
@@ -233,6 +269,15 @@ type Solution struct {
 	// Warm reports that the solve completed on the warm-started path
 	// (dual-simplex restoration from a seeded basis, no phase 1).
 	Warm bool
+	// Duals holds one dual multiplier per constraint row and
+	// ReducedCosts one reduced cost per structural variable, both in the
+	// problem's own sense (for Maximize they are the negated
+	// minimization-form values). They are filled only on Optimal solves
+	// of the revised simplex with SetExtractDuals(true); the dense
+	// oracle never extracts them. The branch-and-bound MIP reads them at
+	// the root for reduced-cost variable fixing.
+	Duals        []float64
+	ReducedCosts []float64
 
 	basis *Basis
 }

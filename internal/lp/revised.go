@@ -58,10 +58,10 @@ type revised struct {
 	nStruct int
 	artBase int
 
-	// Basis inverse: dense LU of the basis, refreshed every maxEtas
-	// pivots, plus the eta file accumulated since.
-	lu      [][]float64
-	perm    []int
+	// Basis inverse: sparse LU of the basis (triangular peeling plus a
+	// dense bump, see lu.go), refreshed every maxEtas pivots, plus the
+	// eta file accumulated since.
+	lu      luFactor
 	etas    []eta
 	factors int // Refactorizations counter
 
@@ -225,57 +225,12 @@ func newRevised(p *Problem) *revised {
 
 // ---- basis inverse: LU + eta file ----
 
-// refactorize computes a fresh dense LU (partial pivoting) of the
-// current basis and clears the eta file. It returns false when the
-// basis is numerically singular.
+// refactorize computes a fresh sparse LU of the current basis (see
+// lu.go) and clears the eta file. It returns false when the basis is
+// numerically singular.
 func (rv *revised) refactorize() bool {
-	m := rv.m
-	if rv.lu == nil {
-		rv.lu = make([][]float64, m)
-		for i := range rv.lu {
-			rv.lu[i] = make([]float64, m)
-		}
-		rv.perm = make([]int, m)
-	}
-	for i := 0; i < m; i++ {
-		row := rv.lu[i]
-		for j := range row {
-			row[j] = 0
-		}
-		rv.perm[i] = i
-	}
-	for k, j := range rv.basis {
-		rows, vals := rv.cols.col(j)
-		for t, i := range rows {
-			rv.lu[i][k] = vals[t]
-		}
-	}
-	for k := 0; k < m; k++ {
-		p, best := k, math.Abs(rv.lu[k][k])
-		for i := k + 1; i < m; i++ {
-			if a := math.Abs(rv.lu[i][k]); a > best {
-				p, best = i, a
-			}
-		}
-		if best < epsPiv {
-			return false
-		}
-		if p != k {
-			rv.lu[p], rv.lu[k] = rv.lu[k], rv.lu[p]
-			rv.perm[p], rv.perm[k] = rv.perm[k], rv.perm[p]
-		}
-		piv := rv.lu[k][k]
-		for i := k + 1; i < m; i++ {
-			f := rv.lu[i][k] / piv
-			if f == 0 {
-				continue
-			}
-			rv.lu[i][k] = f
-			rowI, rowK := rv.lu[i], rv.lu[k]
-			for j := k + 1; j < m; j++ {
-				rowI[j] -= f * rowK[j]
-			}
-		}
+	if !rv.lu.factor(&rv.cols, rv.basis) {
+		return false
 	}
 	rv.etas = rv.etas[:0]
 	rv.factors++
@@ -286,35 +241,7 @@ func (rv *revised) refactorize() bool {
 // ftran solves B·x = a in place: x arrives as a dense copy of a and
 // leaves as B⁻¹a.
 func (rv *revised) ftran(x []float64) {
-	m := rv.m
-	w := rv.sWork
-	for k := 0; k < m; k++ {
-		w[k] = x[rv.perm[k]]
-	}
-	// L y = P a (unit lower triangular).
-	for k := 0; k < m; k++ {
-		yk := w[k]
-		if yk == 0 {
-			continue
-		}
-		for i := k + 1; i < m; i++ {
-			if f := rv.lu[i][k]; f != 0 {
-				w[i] -= f * yk
-			}
-		}
-	}
-	// U x = y.
-	for k := m - 1; k >= 0; k-- {
-		s := w[k]
-		row := rv.lu[k]
-		for j := k + 1; j < m; j++ {
-			if w[j] != 0 {
-				s -= row[j] * w[j]
-			}
-		}
-		w[k] = s / row[k]
-	}
-	copy(x, w)
+	rv.lu.ftran(x)
 	// Apply the eta file in order.
 	for e := range rv.etas {
 		et := &rv.etas[e]
@@ -342,33 +269,7 @@ func (rv *revised) btran(y []float64) {
 		}
 		y[et.r] = s / et.piv
 	}
-	m := rv.m
-	w := rv.sWork
-	copy(w, y)
-	// Uᵀ z = c (forward: Uᵀ is lower triangular).
-	for k := 0; k < m; k++ {
-		s := w[k]
-		for i := 0; i < k; i++ {
-			if w[i] != 0 {
-				s -= rv.lu[i][k] * w[i]
-			}
-		}
-		w[k] = s / rv.lu[k][k]
-	}
-	// Lᵀ v = z (backward: Lᵀ is unit upper triangular).
-	for k := m - 1; k >= 0; k-- {
-		s := w[k]
-		for i := k + 1; i < m; i++ {
-			if w[i] != 0 {
-				s -= rv.lu[i][k] * w[i]
-			}
-		}
-		w[k] = s
-	}
-	// y = Pᵀ v.
-	for k := 0; k < m; k++ {
-		y[rv.perm[k]] = w[k]
-	}
+	rv.lu.btran(y)
 }
 
 // appendEta records the pivot (row r, FTRAN'd column alpha) in the eta

@@ -63,7 +63,43 @@ func (rv *revised) optimalSolution(p *Problem, snap bool) *Solution {
 	if snap {
 		sol.basis = rv.snapshot()
 	}
+	if p.extractDuals {
+		sol.Duals, sol.ReducedCosts = rv.extractDuals(p)
+	}
 	return sol
+}
+
+// extractDuals recomputes y = c_B·B⁻¹ and the structural reduced costs
+// d_j = c_j − y·a_j from the final basis, converted into the problem's
+// own sense. A fresh BTRAN (rather than the incrementally maintained
+// rv.dj) keeps the values drift-free: reduced-cost fixing prunes
+// variables permanently, so it must not act on stale numbers.
+func (rv *revised) extractDuals(p *Problem) (duals, reduced []float64) {
+	y := make([]float64, rv.m)
+	for i := range y {
+		y[i] = rv.cost[rv.basis[i]]
+	}
+	rv.btran(y)
+	dj := make([]float64, rv.nStruct)
+	for j := 0; j < rv.nStruct; j++ {
+		d := rv.cost[j]
+		rows, vals := rv.cols.col(j)
+		for t, i := range rows {
+			if y[i] != 0 {
+				d -= y[i] * vals[t]
+			}
+		}
+		dj[j] = d
+	}
+	if p.sense == Maximize {
+		for i := range y {
+			y[i] = -y[i]
+		}
+		for j := range dj {
+			dj[j] = -dj[j]
+		}
+	}
+	return y, dj
 }
 
 // seedBasis installs a saved basis: statuses are sanitized against the

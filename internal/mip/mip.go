@@ -7,6 +7,14 @@
 // variables, which covers every formulation of the paper: the pure 0–1
 // beacon-placement ILP (§6.1), the mixed programs LP 1 / LP 2 for
 // PPM(k) (§4.3), and the MILP PPME(h,k) of §5.3.
+//
+// By default the search runs root-strengthened (AlgoRootStrengthened):
+// a presolve pass shrinks the instance behind a postsolve map, lifted
+// cover and clique cuts tighten the root relaxation, reduced-cost
+// fixing pins binaries the root duals prove out, and branching is
+// pseudo-cost driven (initialized by strong-branching probes at the
+// root). AlgoPlainTree retains the naive tree as the test oracle; see
+// DESIGN.md §4.
 package mip
 
 import (
@@ -28,6 +36,22 @@ type Problem struct {
 	opts    Options
 }
 
+// TreeAlgo selects the branch-and-bound pipeline.
+type TreeAlgo int
+
+const (
+	// AlgoRootStrengthened (default) runs presolve, root cutting
+	// planes, reduced-cost fixing and pseudo-cost branching around the
+	// tree search. It requires the sparse revised simplex; with
+	// lp.AlgoDenseTableau selected the solver falls back to the plain
+	// tree (the dense oracle exposes no duals).
+	AlgoRootStrengthened TreeAlgo = iota
+	// AlgoPlainTree is the naive best-first tree (no presolve, no
+	// cuts, no fixing, fractionality-driven branching), kept as the
+	// test oracle and ablation baseline.
+	AlgoPlainTree
+)
+
 // Options tunes the branch-and-bound search.
 type Options struct {
 	// MaxNodes caps the number of explored nodes. 0 means the default
@@ -40,7 +64,14 @@ type Options struct {
 	// with the paper's unit device costs an absolute gap of 1-1e-6
 	// would also be valid, but we keep the conservative default).
 	Gap float64
-	// Branching selects the branching-variable rule.
+	// RelGap is the relative optimality gap for pruning: subtrees
+	// within Gap + RelGap·|incumbent| of the incumbent are cut. The
+	// default 0 keeps pruning purely absolute; large-objective
+	// instances should set it so pruning scales with the objective.
+	RelGap float64
+	// Branching selects the branching-variable rule. The PseudoCost
+	// default degrades to MostFractional on the plain tree (pseudo-cost
+	// state lives in the strengthened pipeline).
 	Branching BranchRule
 	// Incumbent, when non-nil, warm-starts the search with a known
 	// feasible solution (e.g. a greedy heuristic's): subtrees that
@@ -51,19 +82,36 @@ type Options struct {
 	// revised simplex (lp.AlgoRevisedSparse) also enables basis
 	// warm-starting of child nodes; the dense tableau
 	// (lp.AlgoDenseTableau) solves every node cold and is retained for
-	// the ablation study.
+	// the ablation study (it forces Tree = AlgoPlainTree).
 	Algorithm lp.Algorithm
 	// Pricing selects the revised simplex pricing rule.
 	Pricing lp.Pricing
+	// Tree selects the search pipeline (default AlgoRootStrengthened).
+	Tree TreeAlgo
+	// NoPresolve, NoCuts, NoFixing and NoStrongBranch switch off
+	// individual stages of the root-strengthened pipeline — the
+	// ablation knobs of BenchmarkAblationTree.
+	NoPresolve     bool
+	NoCuts         bool
+	NoFixing       bool
+	NoStrongBranch bool
+	// CutRounds caps the root cutting-plane rounds (0 = default 8).
+	CutRounds int
 }
 
 // BranchRule selects which fractional variable to branch on.
 type BranchRule int
 
 const (
+	// PseudoCost branches on the variable with the largest estimated
+	// objective degradation product (down × up), estimates initialized
+	// from strong-branching probes at the root and updated from the
+	// observed bound movement of every solved child (default).
+	PseudoCost BranchRule = iota
 	// MostFractional branches on the variable whose fractional part is
-	// closest to 1/2 (default).
-	MostFractional BranchRule = iota
+	// closest to 1/2 (the pre-pseudo-cost default, still the plain
+	// tree's rule).
+	MostFractional
 	// FirstFractional branches on the lowest-index fractional variable
 	// (kept for the ablation study, see DESIGN.md §6).
 	FirstFractional
@@ -81,26 +129,41 @@ type Solution struct {
 	Status    lp.Status
 	Objective float64
 	// X is indexed by lp.Var; integer variables are exactly integral
-	// (rounded from within IntTol).
+	// (rounded from within IntTol). Presolve is invisible here: X is
+	// always full-length in the caller's variable space.
 	X []float64
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
-	// Pivots is the total simplex iterations across all node
-	// relaxations, including iterations of interrupted nodes and of
-	// warm-start attempts that fell back to a cold solve.
+	// Pivots is the total simplex iterations across all LP solves:
+	// node relaxations (including interrupted nodes and warm-start
+	// attempts that fell back to a cold solve), root cutting-plane
+	// re-solves, and strong-branching probes.
 	Pivots int
 	// Bound is the best proven bound on the optimum (equals Objective
 	// at optimality, tighter than Objective only on early stop).
 	Bound float64
 	// Refactorizations is the total basis LU refactorizations across
-	// all node relaxations (0 with the dense tableau).
+	// all LP solves (0 with the dense tableau).
 	Refactorizations int
 	// DevexResets is the total Devex reference-framework resets across
-	// all node relaxations.
+	// all LP solves.
 	DevexResets int
 	// WarmStarts counts the child nodes whose relaxation was solved
 	// from the parent's basis instead of a cold phase-1 start.
 	WarmStarts int
+	// CutsAdded counts the lifted cover and clique cutting planes the
+	// root separation added to the relaxation.
+	CutsAdded int
+	// VarsFixed counts the integer variables permanently fixed by
+	// reduced-cost fixing (after the root LP and on every incumbent
+	// improvement).
+	VarsFixed int
+	// PresolveRemoved counts the columns and rows presolve removed
+	// before the root solve.
+	PresolveRemoved int
+	// StrongBranches counts the strong-branching probe LPs solved to
+	// initialize the pseudo-cost estimates.
+	StrongBranches int
 }
 
 // Value returns the solved value of v.
@@ -156,14 +219,20 @@ func (p *Problem) NumVariables() int { return p.lp.NumVariables() }
 // NumConstraints returns the number of constraints.
 func (p *Problem) NumConstraints() int { return p.lp.NumConstraints() }
 
-// node is one branch-and-bound subproblem: a set of tightened bounds
-// plus the parent's optimal basis, which warm-starts the child's LP
-// relaxation (dual-simplex restoration instead of a cold phase 1).
+// node is one branch-and-bound subproblem. Instead of a per-node bounds
+// map, each node records the single branch delta that created it plus a
+// parent pointer: applying a node's bounds walks the chain root-ward and
+// replays the deltas leaf-most-last. A million-node search therefore
+// allocates no maps, only fixed-size nodes.
 type node struct {
-	bounds map[lp.Var][2]float64
-	relax  float64 // LP relaxation objective of the parent (priority)
-	depth  int
-	basis  *lp.Basis
+	parent    *node
+	branchVar lp.Var // -1 for the root
+	lo, hi    float64
+	relax     float64 // LP relaxation objective of the parent (priority)
+	depth     int
+	basis     *lp.Basis
+	up        bool    // true when this is the ceil-side child
+	frac      float64 // fractional part of branchVar in the parent LP
 }
 
 // nodeQueue is a best-first priority queue ordered by relaxation bound.
@@ -185,6 +254,10 @@ func (q *nodeQueue) Pop() interface{} {
 	old := q.items
 	n := len(old)
 	it := old[n-1]
+	// Nil out the vacated slot: the backing array must not retain
+	// completed nodes (and their basis snapshots / delta chains) for
+	// the rest of the search.
+	old[n-1] = nil
 	q.items = old[:n-1]
 	return it
 }
@@ -216,7 +289,62 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 	if opts.Gap == 0 {
 		opts.Gap = 1e-9
 	}
+	if opts.CutRounds == 0 {
+		opts.CutRounds = 8
+	}
+	if opts.Tree == AlgoPlainTree || opts.Algorithm == lp.AlgoDenseTableau {
+		return p.solveTree(ctx, opts, nil)
+	}
+	return p.solveStrengthened(ctx, opts)
+}
 
+// solveStrengthened presolves the instance, runs the strengthened tree
+// on the reduced problem, and postsolves the answer back into the
+// caller's variable space.
+func (p *Problem) solveStrengthened(ctx context.Context, opts Options) (*Solution, error) {
+	pre := presolveProblem(p, opts)
+	if pre.infeasible {
+		return &Solution{Status: lp.Infeasible, PresolveRemoved: pre.removed}, nil
+	}
+	if pre.unbounded {
+		return &Solution{Status: lp.Unbounded, PresolveRemoved: pre.removed}, nil
+	}
+	if pre.red.lp.NumVariables() == 0 {
+		// Presolve fixed everything: the instance is solved outright.
+		x := pre.restore(nil)
+		return &Solution{Status: lp.Optimal, Objective: pre.constant, X: x,
+			Bound: pre.constant, PresolveRemoved: pre.removed}, nil
+	}
+	red := pre.red
+	// The reduced problem inherits the caller's raw options: the final
+	// bound reporting distinguishes explicitly-set gaps from defaults
+	// through Problem.opts.
+	red.opts = p.opts
+	ropts := opts
+	if inc := opts.Incumbent; inc != nil && len(inc) == p.lp.NumVariables() {
+		ropts.Incumbent = pre.project(inc)
+	} else {
+		ropts.Incumbent = nil
+	}
+	sol, err := red.solveTree(ctx, ropts, pre)
+	if err != nil {
+		return nil, err
+	}
+	if sol.X != nil {
+		sol.X = pre.restore(sol.X)
+		sol.Objective += pre.constant
+		sol.Bound += pre.constant
+	}
+	sol.PresolveRemoved = pre.removed
+	return sol, nil
+}
+
+// solveTree is the shared branch-and-bound engine. With pre == nil it
+// is the plain tree (the historical algorithm over chain nodes); with a
+// presolve state it runs the root-strengthening pipeline — cutting
+// planes, reduced-cost fixing, strong-branching-initialized pseudo-cost
+// branching — before and during the search.
+func (p *Problem) solveTree(ctx context.Context, opts Options, pre *presolveState) (*Solution, error) {
 	// Remember original bounds so the Problem is reusable after Solve.
 	orig := make([][2]float64, p.lp.NumVariables())
 	for v := range orig {
@@ -229,171 +357,458 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 		}
 	}()
 
-	better := func(a, b float64) bool {
-		if p.sense == lp.Minimize {
-			return a < b
-		}
-		return a > b
-	}
-	worst := math.Inf(1)
-	if p.sense == lp.Maximize {
-		worst = math.Inf(-1)
-	}
-
 	p.lp.SetAlgorithm(opts.Algorithm)
 	p.lp.SetPricing(opts.Pricing)
 
-	var incumbent []float64
-	incObj := worst
-	bestBound := -worst // trivial bound until the root relaxation solves
-	nodes := 0
-	pivots := 0
-	refactors := 0
-	devexResets := 0
-	warmStarts := 0
-	// interrupted records why the search stopped before exhausting the
-	// tree: lp.Canceled (context fired) or lp.IterLimit (a node
-	// relaxation ran out of simplex iterations). lp.Optimal means no
-	// interruption.
-	interrupted := lp.Optimal
+	s := &search{
+		p:    p,
+		ctx:  ctx,
+		opts: opts,
+	}
+	// base starts as a copy of orig; reduced-cost fixing tightens it.
+	s.base = make([][2]float64, len(orig))
+	copy(s.base, orig)
+	s.worst = math.Inf(1)
+	if p.sense == lp.Maximize {
+		s.worst = math.Inf(-1)
+	}
+	s.incObj = s.worst
+	s.bestBound = -s.worst // trivial bound until the root relaxation solves
+	s.interrupted = lp.Optimal
 
 	if opts.Incumbent != nil {
 		if obj, ok := p.evaluateIncumbent(opts.Incumbent); ok {
-			incumbent = roundIntegers(opts.Incumbent, p.integer)
-			incObj = obj
+			s.incumbent = roundIntegers(opts.Incumbent, p.integer)
+			s.incObj = obj
 		}
 	}
 
-	q := &nodeQueue{min: p.sense == lp.Minimize}
-	heap.Push(q, &node{relax: -worst})
+	s.q = &nodeQueue{min: p.sense == lp.Minimize}
 
-	for q.Len() > 0 {
-		if nodes >= opts.MaxNodes {
+	if ctx.Err() != nil {
+		s.interrupted = lp.Canceled
+		return s.finish(), nil
+	}
+	if done, err := s.root(pre); done || err != nil {
+		if err != nil {
+			return nil, err
+		}
+		return s.finish(), nil
+	}
+
+	for s.q.Len() > 0 {
+		if s.nodes >= opts.MaxNodes {
 			break
 		}
 		if ctx.Err() != nil {
-			interrupted = lp.Canceled
+			s.interrupted = lp.Canceled
 			break
 		}
-		nd := heap.Pop(q).(*node)
+		// Strong branching is lazy: only a tree that proved nontrivial
+		// pays for root probes (small searches finish before the
+		// threshold and skip the 2×strongBranchCandidates LPs).
+		if s.pc != nil && !s.probed && !opts.NoStrongBranch && s.nodes >= strongBranchTrigger {
+			s.probed = true
+			s.applyBase()
+			s.strongBranchInit(s.rootSol)
+		}
+		nd := heap.Pop(s.q).(*node)
 		// Bound-based pruning against the incumbent.
-		if incumbent != nil && !better(nd.relax, incObj+pruneSlack(p.sense, opts.Gap)) && nd.depth > 0 {
+		if s.incumbent != nil && !s.better(nd.relax, s.incObj+s.pruneSlack()) {
 			continue
 		}
-		nodes++
-
-		// Apply node bounds on top of the originals.
-		for v, b := range orig {
-			p.lp.SetBounds(lp.Var(v), b[0], b[1])
+		// Apply node bounds (base overlaid with the branch-delta
+		// chain); a chain made empty by later reduced-cost fixing
+		// prunes the node outright.
+		if !s.applyNodeBounds(nd) {
+			continue
 		}
-		for v, b := range nd.bounds {
-			p.lp.SetBounds(v, b[0], b[1])
-		}
+		s.nodes++
 
 		sol, err := p.lp.SolveContextFrom(ctx, nd.basis)
 		if err != nil {
 			return nil, fmt.Errorf("mip: node relaxation: %w", err)
 		}
-		pivots += sol.Iterations
-		refactors += sol.Refactorizations
-		devexResets += sol.DevexResets
+		s.addEffort(sol)
 		if sol.Warm {
-			warmStarts++
+			s.warmStarts++
 		}
 		if sol.Status == lp.Canceled || sol.Status == lp.IterLimit {
 			// The node's subtree was not explored: push it back so its
 			// relaxation stays part of the reported open bound, and keep
 			// whatever incumbent exists instead of discarding it.
-			interrupted = sol.Status
-			heap.Push(q, nd)
+			s.interrupted = sol.Status
+			heap.Push(s.q, nd)
 			break
 		}
 		switch sol.Status {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
-			// An unbounded relaxation at the root means the MIP is
-			// unbounded or needs bounds we cannot infer.
-			if nd.depth == 0 {
-				return &Solution{Status: lp.Unbounded, Nodes: nodes, Pivots: pivots,
-					Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
-			}
+			// Unbounded below the (bounded) root: numerically impossible
+			// for the paper's models; treat as exhausted.
 			continue
 		}
-		if nd.depth == 0 {
-			bestBound = sol.Objective
+		if s.pc != nil && nd.branchVar >= 0 {
+			s.pc.observe(int(nd.branchVar), nd.up, s.worsen(sol.Objective, nd.relax), nd.frac)
 		}
-		if incumbent != nil && !better(sol.Objective, incObj+pruneSlack(p.sense, opts.Gap)) {
+		if s.incumbent != nil && !s.better(sol.Objective, s.incObj+s.pruneSlack()) {
 			continue
 		}
 
-		branchVar := p.pickBranch(sol.X, opts)
+		branchVar := p.pickBranch(sol.X, opts, s.pc)
 		if branchVar < 0 {
 			// Integer feasible.
-			if incumbent == nil || better(sol.Objective, incObj) {
-				incumbent = roundIntegers(sol.X, p.integer)
-				incObj = sol.Objective
-			}
+			s.foundIncumbent(sol.X, sol.Objective)
 			continue
 		}
+		s.pushChildren(nd, branchVar, sol)
+	}
+	return s.finish(), nil
+}
 
-		val := sol.X[branchVar]
-		lo, hi := p.lp.Bounds(branchVar)
-		// With non-integral user bounds a rounded child range can be
-		// empty; such a child is simply infeasible and not enqueued.
-		if dn := math.Floor(val); dn >= lo {
-			down := childBounds(nd.bounds, branchVar, lo, dn)
-			heap.Push(q, &node{bounds: down, relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis()})
+// search carries the state of one branch-and-bound run.
+type search struct {
+	p    *Problem
+	ctx  context.Context
+	opts Options
+	q    *nodeQueue
+
+	base  [][2]float64 // root bounds, tightened by reduced-cost fixing
+	worst float64
+
+	incumbent []float64
+	incObj    float64
+	bestBound float64
+
+	nodes, pivots, refactors, devexResets, warmStarts int
+	cutsAdded, varsFixed, strongBranches              int
+	// interrupted records why the search stopped before exhausting the
+	// tree: lp.Canceled (context fired) or lp.IterLimit (node budget or
+	// a capped node relaxation). lp.Optimal means no interruption.
+	interrupted   lp.Status
+	rootUnbounded bool
+
+	// rootSol is retained for the lazy strong-branching probes; probed
+	// flips once they have run.
+	rootSol *lp.Solution
+	probed  bool
+
+	pc *pseudoCosts
+
+	// Reduced-cost fixing state from the final root LP (min-form).
+	rootDj   []float64
+	rootMin  float64
+	rootSide []int8 // 1 = nonbasic at lower, 2 = at upper
+	fixedVar []bool
+
+	chainBuf []*node
+}
+
+func (s *search) better(a, b float64) bool {
+	if s.p.sense == lp.Minimize {
+		return a < b
+	}
+	return a > b
+}
+
+// worsen returns how much child degrades over parent in the worsening
+// direction (always >= 0 up to LP noise).
+func (s *search) worsen(child, parent float64) float64 {
+	d := child - parent
+	if s.p.sense == lp.Maximize {
+		d = -d
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// gapSlack is the total pruning slack: the absolute gap plus the
+// relative gap scaled by the incumbent magnitude.
+func (s *search) gapSlack() float64 {
+	g := s.opts.Gap
+	if s.opts.RelGap > 0 && s.incumbent != nil {
+		g += s.opts.RelGap * math.Abs(s.incObj)
+	}
+	return g
+}
+
+// pruneSlack converts the gap into a signed slack for the "not better
+// than incumbent" test.
+func (s *search) pruneSlack() float64 {
+	if s.p.sense == lp.Minimize {
+		return -s.gapSlack()
+	}
+	return s.gapSlack()
+}
+
+func (s *search) addEffort(sol *lp.Solution) {
+	s.pivots += sol.Iterations
+	s.refactors += sol.Refactorizations
+	s.devexResets += sol.DevexResets
+}
+
+// minForm converts a user-sense objective value to minimization form.
+func (s *search) minForm(v float64) float64 {
+	if s.p.sense == lp.Maximize {
+		return -v
+	}
+	return v
+}
+
+// applyBase installs the root bounds on every variable.
+func (s *search) applyBase() {
+	for v, b := range s.base {
+		s.p.lp.SetBounds(lp.Var(v), b[0], b[1])
+	}
+}
+
+// applyNodeBounds installs base plus the node's branch-delta chain
+// (leaf-most delta wins, each intersected with base). It reports false
+// when a delta is emptied by later reduced-cost fixing — the node's
+// subtree then holds no improving solution and is pruned.
+func (s *search) applyNodeBounds(nd *node) bool {
+	s.applyBase()
+	s.chainBuf = s.chainBuf[:0]
+	for c := nd; c != nil && c.branchVar >= 0; c = c.parent {
+		s.chainBuf = append(s.chainBuf, c)
+	}
+	for i := len(s.chainBuf) - 1; i >= 0; i-- {
+		c := s.chainBuf[i]
+		lo, hi := c.lo, c.hi
+		b := s.base[c.branchVar]
+		if lo < b[0] {
+			lo = b[0]
 		}
-		if up := math.Ceil(val); up <= hi {
-			upb := childBounds(nd.bounds, branchVar, up, hi)
-			heap.Push(q, &node{bounds: upb, relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis()})
+		if hi > b[1] {
+			hi = b[1]
 		}
+		if lo > hi {
+			return false
+		}
+		s.p.lp.SetBounds(c.branchVar, lo, hi)
+	}
+	return true
+}
+
+// foundIncumbent installs a better integer-feasible point and re-runs
+// reduced-cost fixing against the improved cutoff.
+func (s *search) foundIncumbent(x []float64, obj float64) {
+	if s.incumbent != nil && !s.better(obj, s.incObj) {
+		return
+	}
+	s.incumbent = roundIntegers(x, s.p.integer)
+	s.incObj = obj
+	s.reducedCostFix()
+}
+
+// pushChildren enqueues the floor/ceil children of branching on v.
+func (s *search) pushChildren(nd *node, v lp.Var, sol *lp.Solution) {
+	val := sol.X[v]
+	lo, hi := s.p.lp.Bounds(v)
+	frac := val - math.Floor(val)
+	// With non-integral user bounds a rounded child range can be
+	// empty; such a child is simply infeasible and not enqueued.
+	if dn := math.Floor(val); dn >= lo {
+		heap.Push(s.q, &node{parent: nd, branchVar: v, lo: lo, hi: dn,
+			relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis(), up: false, frac: frac})
+	}
+	if up := math.Ceil(val); up <= hi {
+		heap.Push(s.q, &node{parent: nd, branchVar: v, lo: up, hi: hi,
+			relax: sol.Objective, depth: nd.depth + 1, basis: sol.Basis(), up: true, frac: frac})
+	}
+}
+
+// root solves the root relaxation and, on the strengthened path, runs
+// the cutting-plane loop, reduced-cost fixing and strong-branching
+// pseudo-cost initialization. It returns done == true when the search
+// is already decided (infeasible, unbounded, interrupted, integral
+// root, or root bound dominated by the incumbent).
+func (s *search) root(pre *presolveState) (done bool, err error) {
+	p, opts := s.p, s.opts
+	strengthen := pre != nil
+	wantDuals := strengthen && !opts.NoFixing
+	if wantDuals {
+		p.lp.SetExtractDuals(true)
+		defer p.lp.SetExtractDuals(false)
 	}
 
+	s.nodes++
+	sol, err := p.lp.SolveContext(s.ctx)
+	if err != nil {
+		return false, fmt.Errorf("mip: root relaxation: %w", err)
+	}
+	s.addEffort(sol)
+	switch sol.Status {
+	case lp.Canceled, lp.IterLimit:
+		s.interrupted = sol.Status
+		return true, nil
+	case lp.Infeasible:
+		return true, nil
+	case lp.Unbounded:
+		s.rootUnbounded = true
+		return true, nil
+	}
+	s.bestBound = sol.Objective
+
+	if s.incumbent != nil && !s.better(sol.Objective, s.incObj+s.pruneSlack()) {
+		// The incumbent already matches the root bound: exhausted.
+		return true, nil
+	}
+
+	if strengthen && !opts.NoCuts {
+		sol = s.cutLoop(sol)
+		if s.interrupted != lp.Optimal {
+			return true, nil
+		}
+	}
+	if wantDuals && sol.ReducedCosts != nil {
+		s.captureRootDuals(sol)
+		s.reducedCostFix()
+	}
+
+	branchVar := p.pickBranch(sol.X, opts, nil)
+	if branchVar < 0 {
+		s.foundIncumbent(sol.X, sol.Objective)
+		return true, nil
+	}
+	if strengthen && opts.Branching == PseudoCost {
+		// Pseudo-cost state; strong-branching initialization is lazy
+		// (triggered by the tree loop at strongBranchTrigger nodes) so
+		// small searches never pay for the probes.
+		s.pc = newPseudoCosts(p.lp.NumVariables())
+		s.rootSol = sol
+		branchVar = p.pickBranch(sol.X, opts, s.pc)
+		if branchVar < 0 {
+			// Unreachable in practice (the LP point did not change),
+			// but stay safe.
+			s.foundIncumbent(sol.X, sol.Objective)
+			return true, nil
+		}
+	}
+	rootNode := &node{branchVar: -1, relax: sol.Objective}
+	s.pushChildren(rootNode, branchVar, sol)
+	return false, nil
+}
+
+// captureRootDuals stores the min-form reduced costs and bound sides of
+// the final root LP for (repeated) reduced-cost fixing.
+func (s *search) captureRootDuals(sol *lp.Solution) {
+	n := s.p.lp.NumVariables()
+	s.rootDj = make([]float64, n)
+	s.rootSide = make([]int8, n)
+	s.fixedVar = make([]bool, n)
+	s.rootMin = s.minForm(sol.Objective)
+	for j := 0; j < n; j++ {
+		dj := sol.ReducedCosts[j]
+		if s.p.sense == lp.Maximize {
+			dj = -dj
+		}
+		s.rootDj[j] = dj
+		lo, hi := s.base[j][0], s.base[j][1]
+		x := sol.X[j]
+		switch {
+		case x <= lo+1e-7:
+			s.rootSide[j] = 1
+		case !math.IsInf(hi, 1) && x >= hi-1e-7:
+			s.rootSide[j] = 2
+		}
+	}
+}
+
+// reducedCostFix permanently fixes integer variables whose root reduced
+// cost proves that moving them off their root bound cannot beat the
+// incumbent cutoff. The test mirrors the tree's pruning rule exactly,
+// so fixing can drop alternate optima but never the objective value.
+func (s *search) reducedCostFix() {
+	if s.rootDj == nil || s.incumbent == nil || s.opts.NoFixing {
+		return
+	}
+	cutoff := s.minForm(s.incObj) - s.gapSlack()
+	for j, isInt := range s.p.integer {
+		if !isInt || s.fixedVar[j] {
+			continue
+		}
+		lo, hi := s.base[j][0], s.base[j][1]
+		if hi-lo < 1-1e-9 {
+			continue
+		}
+		dj := s.rootDj[j]
+		switch s.rootSide[j] {
+		case 1: // nonbasic at lower; moving up one unit costs dj
+			if dj > epsFix && s.rootMin+dj >= cutoff {
+				s.base[j] = [2]float64{lo, lo}
+				s.fixedVar[j] = true
+				s.varsFixed++
+			}
+		case 2: // nonbasic at upper; moving down one unit costs -dj
+			if dj < -epsFix && s.rootMin-dj >= cutoff {
+				s.base[j] = [2]float64{hi, hi}
+				s.fixedVar[j] = true
+				s.varsFixed++
+			}
+		}
+	}
+}
+
+// epsFix is the minimum reduced-cost magnitude considered for fixing.
+const epsFix = 1e-9
+
+// finish assembles the Solution exactly as the historical tree did.
+func (s *search) finish() *Solution {
+	if s.rootUnbounded {
+		return &Solution{Status: lp.Unbounded, Nodes: s.nodes, Pivots: s.pivots,
+			Refactorizations: s.refactors, DevexResets: s.devexResets, WarmStarts: s.warmStarts,
+			CutsAdded: s.cutsAdded, VarsFixed: s.varsFixed, StrongBranches: s.strongBranches}
+	}
 	// On an early stop the best-first queue's top relaxation is the best
 	// still-open bound; combine it with the proven root bound, and never
 	// claim a bound beyond the incumbent's own value.
-	if q.Len() > 0 {
-		open := q.items[0].relax
-		if better(bestBound, open) {
-			bestBound = open
+	if s.q.Len() > 0 {
+		open := s.q.items[0].relax
+		if s.better(s.bestBound, open) {
+			s.bestBound = open
 		}
-		if incumbent != nil && better(incObj, bestBound) {
-			bestBound = incObj
+		if s.incumbent != nil && s.better(s.incObj, s.bestBound) {
+			s.bestBound = s.incObj
 		}
 	}
-	if incumbent == nil {
+	if s.incumbent == nil {
 		st := lp.Infeasible
 		switch {
-		case interrupted != lp.Optimal:
-			st = interrupted
-		case nodes >= opts.MaxNodes:
+		case s.interrupted != lp.Optimal:
+			st = s.interrupted
+		case s.nodes >= s.opts.MaxNodes:
 			st = lp.IterLimit
 		}
-		return &Solution{Status: st, Nodes: nodes, Pivots: pivots,
-			Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
+		return &Solution{Status: st, Nodes: s.nodes, Pivots: s.pivots,
+			Refactorizations: s.refactors, DevexResets: s.devexResets, WarmStarts: s.warmStarts,
+			CutsAdded: s.cutsAdded, VarsFixed: s.varsFixed, StrongBranches: s.strongBranches}
 	}
 	st := lp.Optimal
 	switch {
-	case interrupted != lp.Optimal:
+	case s.interrupted != lp.Optimal:
 		// Even with an empty queue the interrupted node may hide better
 		// solutions, so an interrupted search never claims optimality.
-		st = interrupted
-	case q.Len() > 0 && nodes >= opts.MaxNodes:
+		st = s.interrupted
+	case s.q.Len() > 0 && s.nodes >= s.opts.MaxNodes:
 		st = lp.IterLimit
 	default:
 		// The tree is exhausted: the incumbent is optimal within the
 		// pruning gap, so with a caller-set gap the proven bound is
-		// incObj − Gap (minimize). Under the near-zero conservative
+		// incObj − slack (minimize). Under the near-zero conservative
 		// default this is optimality proper and Bound = Objective.
-		bestBound = incObj
-		if p.opts.Gap > 0 {
-			bestBound = incObj + pruneSlack(p.sense, p.opts.Gap)
+		s.bestBound = s.incObj
+		if s.p.opts.Gap > 0 || s.p.opts.RelGap > 0 {
+			s.bestBound = s.incObj + s.pruneSlack()
 		}
 	}
-	return &Solution{Status: st, Objective: incObj, X: incumbent, Nodes: nodes, Pivots: pivots, Bound: bestBound,
-		Refactorizations: refactors, DevexResets: devexResets, WarmStarts: warmStarts}, nil
+	return &Solution{Status: st, Objective: s.incObj, X: s.incumbent, Nodes: s.nodes,
+		Pivots: s.pivots, Bound: s.bestBound,
+		Refactorizations: s.refactors, DevexResets: s.devexResets, WarmStarts: s.warmStarts,
+		CutsAdded: s.cutsAdded, VarsFixed: s.varsFixed, StrongBranches: s.strongBranches}
 }
 
 // evaluateIncumbent validates a warm-start solution: feasible for the
@@ -410,18 +825,14 @@ func (p *Problem) evaluateIncumbent(x []float64) (float64, bool) {
 	return p.lp.Evaluate(x)
 }
 
-// pruneSlack converts the absolute gap into a signed slack for the
-// "not better than incumbent" test.
-func pruneSlack(sense lp.Sense, gap float64) float64 {
-	if sense == lp.Minimize {
-		return -gap
-	}
-	return gap
-}
-
 // pickBranch returns the integer variable to branch on, or -1 when x is
-// integer feasible.
-func (p *Problem) pickBranch(x []float64, opts Options) lp.Var {
+// integer feasible. pc drives pseudo-cost scoring and may be nil, in
+// which case PseudoCost degrades to MostFractional.
+func (p *Problem) pickBranch(x []float64, opts Options, pc *pseudoCosts) lp.Var {
+	rule := opts.Branching
+	if rule == PseudoCost && pc == nil {
+		rule = MostFractional
+	}
 	best := lp.Var(-1)
 	bestScore := -1.0
 	for j, isInt := range p.integer {
@@ -432,25 +843,21 @@ func (p *Problem) pickBranch(x []float64, opts Options) lp.Var {
 		if frac < opts.IntTol || frac > 1-opts.IntTol {
 			continue
 		}
-		if opts.Branching == FirstFractional {
+		var score float64
+		switch rule {
+		case FirstFractional:
 			return lp.Var(j)
+		case MostFractional:
+			score = math.Min(frac, 1-frac)
+		case PseudoCost:
+			score = pc.score(j, frac)
 		}
-		score := math.Min(frac, 1-frac)
 		if score > bestScore {
 			bestScore = score
 			best = lp.Var(j)
 		}
 	}
 	return best
-}
-
-func childBounds(parent map[lp.Var][2]float64, v lp.Var, lo, hi float64) map[lp.Var][2]float64 {
-	b := make(map[lp.Var][2]float64, len(parent)+1)
-	for k, x := range parent {
-		b[k] = x
-	}
-	b[v] = [2]float64{lo, hi}
-	return b
 }
 
 func roundIntegers(x []float64, integer []bool) []float64 {

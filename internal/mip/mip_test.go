@@ -75,9 +75,7 @@ func TestInfeasibleMIP(t *testing.T) {
 	}
 }
 
-func TestIntegralityGapInstance(t *testing.T) {
-	// Vertex cover on a triangle: LP relaxation gives 1.5 (all halves),
-	// the ILP must pay 2 — exercises real branching.
+func triangleCover(opts Options) *Problem {
 	p := NewProblem(lp.Minimize)
 	a := p.AddBinaryVariable("a", 1)
 	b := p.AddBinaryVariable("b", 1)
@@ -85,12 +83,34 @@ func TestIntegralityGapInstance(t *testing.T) {
 	p.AddConstraint(lp.GE, 1, tm(a, 1), tm(b, 1))
 	p.AddConstraint(lp.GE, 1, tm(b, 1), tm(c, 1))
 	p.AddConstraint(lp.GE, 1, tm(a, 1), tm(c, 1))
-	s := solveOrDie(t, p)
+	p.SetOptions(opts)
+	return p
+}
+
+func TestIntegralityGapInstance(t *testing.T) {
+	// Vertex cover on a triangle: LP relaxation gives 1.5 (all halves),
+	// the ILP must pay 2 — exercises real branching on the plain tree.
+	s := solveOrDie(t, triangleCover(Options{Tree: AlgoPlainTree}))
 	if s.Status != lp.Optimal || !almostEq(s.Objective, 2, 1e-6) {
 		t.Fatalf("status=%v obj=%g, want optimal 2", s.Status, s.Objective)
 	}
 	if s.Nodes < 2 {
-		t.Fatalf("nodes=%d; triangle cover should require branching", s.Nodes)
+		t.Fatalf("nodes=%d; triangle cover should require branching on the plain tree", s.Nodes)
+	}
+}
+
+func TestCliqueCutClosesTriangleAtRoot(t *testing.T) {
+	// The strengthened default separates the triangle clique cut
+	// y_a + y_b + y_c >= 2 at the root and never branches at all.
+	s := solveOrDie(t, triangleCover(Options{}))
+	if s.Status != lp.Optimal || !almostEq(s.Objective, 2, 1e-6) {
+		t.Fatalf("status=%v obj=%g, want optimal 2", s.Status, s.Objective)
+	}
+	if s.CutsAdded == 0 {
+		t.Fatalf("no cuts separated on the triangle: %+v", s)
+	}
+	if s.Nodes != 1 {
+		t.Fatalf("nodes=%d; the clique cut should close the root", s.Nodes)
 	}
 }
 

@@ -40,6 +40,10 @@ type ILPOptions struct {
 	// Gap is the absolute optimality gap for branch-and-bound pruning
 	// (0 = solver default, effectively prove to optimality).
 	Gap float64
+	// RelGap is the relative optimality gap: subtrees within
+	// Gap + RelGap·|incumbent| of the incumbent are pruned, so pruning
+	// scales with the objective on large instances (0 = off).
+	RelGap float64
 }
 
 // SolveILP solves PPM(k) exactly with the paper's MIP formulation (the
@@ -135,7 +139,7 @@ func lp2Incumbent(in *core.Instance, k float64, opts ILPOptions, nVars int, xs, 
 // mipOptions combines the caller's node budget and gap with a warm
 // start.
 func mipOptions(opts ILPOptions, incumbent []float64) mip.Options {
-	return mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap, Incumbent: incumbent}
+	return mip.Options{MaxNodes: opts.MaxNodes, Gap: opts.Gap, RelGap: opts.RelGap, Incumbent: incumbent}
 }
 
 // solveLP1 builds Linear program 1 of §4.3: the arc-path form with flow
@@ -262,7 +266,9 @@ func ilpPlacement(in *core.Instance, xs []lp.Var, sol *mip.Solution, method stri
 	}
 	pl := finish(in, edges, exact, method)
 	pl.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
-		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts,
+		CutsAdded: sol.CutsAdded, VarsFixed: sol.VarsFixed, PresolveRemoved: sol.PresolveRemoved,
+		StrongBranches: sol.StrongBranches, Bound: sol.Bound}
 	return pl, nil
 }
 

@@ -157,6 +157,7 @@ func ExactCover(ctx context.Context, in *core.Instance, k float64, opts cover.Ex
 	}
 	pl := finish(in, edgeIDs(res.Chosen), res.Exact, "exact-cover")
 	pl.Stats.Nodes = res.Nodes
+	pl.Stats.VarsFixed = res.SetsBanned
 	return pl
 }
 

@@ -71,6 +71,8 @@ type Config struct {
 	// Gap is the absolute optimality gap for branch-and-bound pruning
 	// (0 = solver default).
 	Gap float64
+	// RelGap is the relative optimality gap (0 = off); see mip.Options.
+	RelGap float64
 }
 
 func (cfg Config) validate(in *core.MultiInstance) error {
@@ -164,7 +166,7 @@ func Solve(ctx context.Context, in *core.MultiInstance, cfg Config) (*Solution, 
 	for pi := range paths {
 		inc[ds[pi]] = 1
 	}
-	p.SetOptions(mip.Options{MaxNodes: cfg.MaxNodes, Gap: cfg.Gap, Incumbent: inc})
+	p.SetOptions(mip.Options{MaxNodes: cfg.MaxNodes, Gap: cfg.Gap, RelGap: cfg.RelGap, Incumbent: inc})
 	sol, err := p.SolveContext(ctx)
 	if err != nil {
 		return nil, err
@@ -182,7 +184,9 @@ func Solve(ctx context.Context, in *core.MultiInstance, cfg Config) (*Solution, 
 	}
 	out := extract(in, paths, cfg, costs, xs, rs, ds, sol.X, exact)
 	out.Stats = core.SolveStats{Nodes: sol.Nodes, Pivots: sol.Pivots,
-		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts, Bound: sol.Bound}
+		Refactorizations: sol.Refactorizations, DevexResets: sol.DevexResets, WarmStarts: sol.WarmStarts,
+		CutsAdded: sol.CutsAdded, VarsFixed: sol.VarsFixed, PresolveRemoved: sol.PresolveRemoved,
+		StrongBranches: sol.StrongBranches, Bound: sol.Bound}
 	return out, nil
 }
 

@@ -115,7 +115,7 @@ func init() {
 		return active.PlaceGreedy(ps)
 	})
 	beacon(SolverBeaconILP, func(ctx context.Context, ps ProbeSet, o Options) (BeaconPlacement, error) {
-		return active.PlaceILPOpts(ctx, ps, active.ILPOptions{MaxNodes: o.MaxNodes, Gap: o.Gap})
+		return active.PlaceILPOpts(ctx, ps, active.ILPOptions{MaxNodes: o.MaxNodes, Gap: o.Gap, RelGap: o.RelGap})
 	})
 
 	mustRegister(SolverFunc{SolverName: SolverSamplePPME, Fn: func(ctx context.Context, problem Problem, o Options) (*Result, error) {
@@ -123,7 +123,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		sol, err := sampling.Solve(ctx, mi, sampling.Config{K: o.Coverage, MaxNodes: o.MaxNodes, Gap: o.Gap})
+		sol, err := sampling.Solve(ctx, mi, sampling.Config{K: o.Coverage, MaxNodes: o.MaxNodes, Gap: o.Gap, RelGap: o.RelGap})
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +175,7 @@ func ilpOptions(f passive.Formulation, o Options) ILPOptions {
 		Budget:      o.Budget,
 		MaxNodes:    o.MaxNodes,
 		Gap:         o.Gap,
+		RelGap:      o.RelGap,
 	}
 }
 
@@ -223,6 +224,10 @@ func solveStats(st core.SolveStats) Stats {
 		Refactorizations: st.Refactorizations,
 		DevexResets:      st.DevexResets,
 		WarmStarts:       st.WarmStarts,
+		CutsAdded:        st.CutsAdded,
+		VarsFixed:        st.VarsFixed,
+		PresolveRemoved:  st.PresolveRemoved,
+		StrongBranches:   st.StrongBranches,
 	}
 }
 

@@ -44,6 +44,18 @@ type Stats struct {
 	// WarmStarts is the number of branch-and-bound nodes whose LP
 	// relaxation was warm-started from the parent node's basis.
 	WarmStarts int
+	// CutsAdded is the number of root cutting planes (lifted cover and
+	// clique cuts) added to the MIP relaxation.
+	CutsAdded int
+	// VarsFixed is the number of variables permanently fixed by
+	// reduced-cost fixing.
+	VarsFixed int
+	// PresolveRemoved is the number of columns and rows the MIP
+	// presolve removed before the root solve.
+	PresolveRemoved int
+	// StrongBranches is the number of strong-branching probe LPs solved
+	// to initialize pseudo-cost branching.
+	StrongBranches int
 }
 
 // Result is the unified outcome of a Solve: the placement for the
@@ -112,6 +124,10 @@ type Options struct {
 	Installed []EdgeID
 	// Gap is the absolute optimality gap for branch-and-bound pruning.
 	Gap float64
+	// RelGap is the relative optimality gap: pruning uses
+	// Gap + RelGap·|incumbent|, so it scales with the objective on
+	// large instances. 0 disables it.
+	RelGap float64
 	// Seed drives randomized solvers (tap/rounding).
 	Seed int64
 	// MaxNodes caps branch-and-bound nodes (0 = solver default).
@@ -140,6 +156,9 @@ func WithInstalled(edges ...EdgeID) Option {
 
 // WithGap sets the absolute optimality gap for exact solvers.
 func WithGap(g float64) Option { return func(o *Options) { o.Gap = g } }
+
+// WithRelGap sets the relative optimality gap for exact solvers.
+func WithRelGap(g float64) Option { return func(o *Options) { o.RelGap = g } }
 
 // WithSeed seeds randomized solvers.
 func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
