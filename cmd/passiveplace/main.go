@@ -7,6 +7,7 @@
 //
 //	passiveplace -preset paper10 -seed 1 -k 0.95 -method ilp
 //	passiveplace -map pop.map -k 1 -method greedy-load
+//	passiveplace -family waxman -size 40 -seed 7 -k 0.95 -method portfolio
 //	passiveplace -preset paper10 -k 0.9 -method ilp -budget 5
 //	passiveplace -preset paper15 -k 1 -method portfolio -timeout 2s
 //	passiveplace -solvers
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -36,7 +38,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("passiveplace", flag.ContinueOnError)
 	preset := fs.String("preset", "paper10", "paper10|paper15|paper29|paper80")
-	mapFile := fs.String("map", "", "load topology from a Rocketfuel-style map instead of generating")
+	family := fs.String("family", "", "generate from a scenario family instead of a preset (overrides -preset; -map wins over both)")
+	size := fs.Int("size", 20, "with -family: number of POP routers")
+	mapFile := fs.String("map", "", "load topology from a Rocketfuel-style map instead of generating (overrides -preset and -family)")
 	seed := fs.Int64("seed", 0, "generation seed (topology, traffic, randomized solvers)")
 	k := fs.Float64("k", 1.0, "fraction of traffic to monitor, in (0,1]")
 	method := fs.String("method", "ilp", `solver name, with or without the "tap/" prefix (-solvers lists all)`)
@@ -54,17 +58,25 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var pop *topology.POP
-	if *mapFile != "" {
+	var demands []traffic.Demand
+	switch {
+	case *mapFile != "":
 		f, err := os.Open(*mapFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		pop, err = topology.Parse(f)
+		pop, err = topology.Read(f)
 		if err != nil {
 			return err
 		}
-	} else {
+	case *family != "":
+		s, err := scenario.Generate(*family, *size, *seed)
+		if err != nil {
+			return err
+		}
+		pop, demands = s.POP, s.Demands
+	default:
 		cfg, err := presetConfig(*preset)
 		if err != nil {
 			return err
@@ -73,7 +85,9 @@ func run(args []string, out io.Writer) error {
 		pop = topology.Generate(cfg)
 	}
 
-	demands := traffic.Demands(pop, traffic.Config{Seed: *seed})
+	if demands == nil {
+		demands = traffic.Demands(pop, traffic.Config{Seed: *seed})
+	}
 	in, err := traffic.Route(pop, demands)
 	if err != nil {
 		return err

@@ -103,3 +103,21 @@ func TestPresetConfig(t *testing.T) {
 		t.Error("unknown preset accepted")
 	}
 }
+
+func TestRunScenarioFamily(t *testing.T) {
+	out, err := runToString(t, "-family", "metro", "-size", "12", "-seed", "3", "-k", "0.9", "-method", "greedy-gain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PPM(k=0.90)", "12 routers", "devices:", "coverage:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownFamilyErrors(t *testing.T) {
+	if _, err := runToString(t, "-family", "no-such", "-size", "10"); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}

@@ -1,11 +1,14 @@
-// Command popgen generates POP topologies (§2's two-level architecture)
-// and writes them as a Rocketfuel-style map or Graphviz DOT, optionally
-// weighting edges by generated traffic load as in the paper's Figure 6.
+// Command popgen generates POP topologies (§2's two-level architecture,
+// or any registered scenario family) and writes them as a
+// Rocketfuel-style map or Graphviz DOT, optionally weighting edges by
+// generated traffic load as in the paper's Figure 6.
 //
 // Usage:
 //
 //	popgen -preset paper10 -format map
 //	popgen -routers 20 -links 36 -endpoints 14 -seed 3 -format dot -loads
+//	popgen -family waxman -size 40 -seed 7
+//	popgen -families
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/scenario"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -28,6 +32,9 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("popgen", flag.ContinueOnError)
 	preset := fs.String("preset", "", "paper10|paper15|paper29|paper80 (overrides size flags)")
+	family := fs.String("family", "", "scenario family (-families lists all; overrides -preset and size flags)")
+	size := fs.Int("size", 20, "with -family: number of POP routers")
+	listFamilies := fs.Bool("families", false, "list registered scenario families and exit")
 	routers := fs.Int("routers", 10, "number of POP routers")
 	links := fs.Int("links", 15, "inter-router links")
 	endpoints := fs.Int("endpoints", 12, "virtual traffic endpoints")
@@ -37,23 +44,45 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	cfg := topology.Config{Routers: *routers, InterRouterLinks: *links, Endpoints: *endpoints}
-	switch *preset {
-	case "":
-	case "paper10":
-		cfg = topology.Paper10
-	case "paper15":
-		cfg = topology.Paper15
-	case "paper29":
-		cfg = topology.Paper29
-	case "paper80":
-		cfg = topology.Paper80
-	default:
-		return fmt.Errorf("unknown preset %q", *preset)
+	if *listFamilies {
+		for _, name := range scenario.Families() {
+			f, err := scenario.Lookup(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-10s %s\n", name, f.Description)
+		}
+		return nil
 	}
-	cfg.Seed = *seed
-	pop := topology.Generate(cfg)
+
+	var pop *topology.POP
+	// demands are pre-drawn by scenario families; nil means draw the
+	// §4.4 preferred-pair matrix on demand for -loads.
+	var demands []traffic.Demand
+	if *family != "" {
+		s, err := scenario.Generate(*family, *size, *seed)
+		if err != nil {
+			return err
+		}
+		pop, demands = s.POP, s.Demands
+	} else {
+		cfg := topology.Config{Routers: *routers, InterRouterLinks: *links, Endpoints: *endpoints}
+		switch *preset {
+		case "":
+		case "paper10":
+			cfg = topology.Paper10
+		case "paper15":
+			cfg = topology.Paper15
+		case "paper29":
+			cfg = topology.Paper29
+		case "paper80":
+			cfg = topology.Paper80
+		default:
+			return fmt.Errorf("unknown preset %q", *preset)
+		}
+		cfg.Seed = *seed
+		pop = topology.Generate(cfg)
+	}
 
 	switch *format {
 	case "map":
@@ -73,7 +102,9 @@ func run(args []string, out *os.File) error {
 			},
 		}
 		if *loads {
-			demands := traffic.Demands(pop, traffic.Config{Seed: *seed})
+			if demands == nil {
+				demands = traffic.Demands(pop, traffic.Config{Seed: *seed})
+			}
 			in, err := traffic.Route(pop, demands)
 			if err != nil {
 				return err

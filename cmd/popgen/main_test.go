@@ -74,3 +74,47 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestFamilyMapOutputParsesBack(t *testing.T) {
+	for _, fam := range []string{"waxman", "barabasi", "metro", "fattree", "pop"} {
+		out, err := runToFile(t, "-family", fam, "-size", "12", "-seed", "7", "-format", "map")
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		pop, err := topology.Read(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("%s: generated map does not parse: %v", fam, err)
+		}
+		if pop.Routers() != 12 {
+			t.Fatalf("%s: parsed %d routers, want 12", fam, pop.Routers())
+		}
+	}
+}
+
+func TestFamilyDOTWithLoads(t *testing.T) {
+	out, err := runToFile(t, "-family", "waxman", "-size", "10", "-seed", "1", "-format", "dot", "-loads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "penwidth") {
+		t.Errorf("DOT with -loads missing edge widths:\n%s", out)
+	}
+}
+
+func TestFamiliesListing(t *testing.T) {
+	out, err := runToFile(t, "-families")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{"barabasi", "churn", "fattree", "metro", "pop", "waxman"} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("families listing missing %q:\n%s", fam, out)
+		}
+	}
+}
+
+func TestUnknownFamilyErrors(t *testing.T) {
+	if _, err := runToFile(t, "-family", "no-such", "-size", "10"); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+// Scenario-family sweeps: the ROADMAP's "as many scenarios as you can
+// imagine" counterpart to the paper's fixed-size figures. A sweep runs
+// the PPM(k) solvers across a size axis of one scenario family
+// (internal/scenario), on the same deterministic engine the figure
+// reproductions use — parallel merges stay byte-identical to serial.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/passive"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// ScenarioSweep runs the greedy and exact PPM(k) solvers across sizes
+// of one scenario family, averaged over seeds runs per size, at the
+// given coverage target. maxNodes caps the exact branch-and-bound per
+// cell (0 = solver default).
+func ScenarioSweep(ctx context.Context, family string, sizes []int, seeds int, k float64, maxNodes int) (*stats.Series, error) {
+	return ScenarioSweepOn(ctx, NewRunner(), family, sizes, seeds, k, maxNodes)
+}
+
+// ScenarioSweepOn is ScenarioSweep on a caller-managed engine.
+func ScenarioSweepOn(ctx context.Context, eng *engine.Runner, family string, sizes []int, seeds int, k float64, maxNodes int) (*stats.Series, error) {
+	f, err := scenario.Lookup(family)
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range sizes {
+		if size < f.MinSize {
+			return nil, fmt.Errorf("experiments: scenario %s needs size ≥ %d, got %d", family, f.MinSize, size)
+		}
+	}
+	s := stats.NewSeries(
+		fmt.Sprintf("scenario %s: devices vs POP size (k=%g)", family, k),
+		"routers", "number of monitoring devices",
+		"Greedy algorithm", "ILP",
+	)
+	runSweep(ctx, eng, s, seeds, len(sizes), func(ctx context.Context, seed, point int) []stats.Sample {
+		size := sizes[point]
+		in := cachedScenarioInstance(eng, family, size, int64(seed))
+		g := passive.GreedyGain(in, k)
+		ex := cachedSolve(ctx, eng, engine.MustKey("scenario/tap-exact", in, k, maxNodes), func() passive.Placement {
+			pl := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes})
+			eng.AddStats(pl.Stats)
+			return pl
+		})
+		x := float64(size)
+		return []stats.Sample{
+			{X: x, Column: "Greedy algorithm", Value: float64(g.Devices())},
+			{X: x, Column: "ILP", Value: float64(ex.Devices())},
+		}
+	})
+	return s, nil
+}
+
+// cachedScenarioInstance memoizes scenario generation + routing per
+// (family, size, seed). Like the figure cells, it reports failure by
+// panicking (runSweep's contract); the built-in families cannot fail
+// at registered sizes.
+func cachedScenarioInstance(eng *engine.Runner, family string, size int, seed int64) *core.Instance {
+	key := engine.MustKey("experiments/scenario", nil, family, size, seed)
+	return cached(eng, key, func() *core.Instance {
+		sc, err := scenario.Generate(family, size, seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		in, err := sc.Instance()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		return in
+	})
+}

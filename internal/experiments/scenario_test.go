@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestScenarioSweep runs a small waxman size sweep and checks the
+// basic shape: exact never uses more devices than greedy, and the
+// parallel run is byte-identical to the serial baseline.
+func TestScenarioSweep(t *testing.T) {
+	sizes := []int{8, 12}
+	seeds := 2
+	if !testing.Short() {
+		sizes = []int{8, 12, 16}
+		seeds = 3
+	}
+	ctx := context.Background()
+	serial, err := ScenarioSweepOn(ctx, engine.Serial(), "waxman", sizes, seeds, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range sizes {
+		g := serial.MeanAt(float64(size), "Greedy algorithm")
+		ex := serial.MeanAt(float64(size), "ILP")
+		if ex > g+1e-9 {
+			t.Errorf("size %d: exact mean %g above greedy mean %g", size, ex, g)
+		}
+		if ex <= 0 {
+			t.Errorf("size %d: exact mean %g, want positive", size, ex)
+		}
+	}
+	parallel, err := ScenarioSweepOn(ctx, NewRunner(), "waxman", sizes, seeds, 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("parallel sweep differs from serial:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestScenarioSweepBadInput pins the error paths: unknown family and
+// a size below the family floor both error cleanly (no worker panic).
+func TestScenarioSweepBadInput(t *testing.T) {
+	if _, err := ScenarioSweep(context.Background(), "no-such", []int{8}, 1, 0.9, 0); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+	if _, err := ScenarioSweep(context.Background(), "fattree", []int{4, 8}, 1, 0.9, 0); err == nil {
+		t.Fatal("want error for size below the family floor")
+	}
+}

@@ -1,0 +1,23 @@
+package passive
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// LinearRelaxation solves the LP relaxation of Linear program 2 (§4.3)
+// — x_e relaxed to [0,1] — and returns its optimum: a lower bound on
+// the PPM(k) device count every integral solver must respect. The
+// metamorphic harness (internal/scenariotest) asserts
+// ⌈LinearRelaxation⌉ ≤ ILP optimum ≤ greedy on every scenario family.
+// It shares the model builder with RandomizedRounding's relaxation
+// step, so the bound and the rounding heuristic can never diverge.
+func LinearRelaxation(ctx context.Context, in *core.Instance, k float64) (float64, error) {
+	checkK(k)
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	_, obj, err := lp2Relaxation(ctx, in, k)
+	return obj, err
+}

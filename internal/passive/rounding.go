@@ -23,7 +23,7 @@ func RandomizedRounding(ctx context.Context, in *core.Instance, k float64, seed 
 	if err := in.Validate(); err != nil {
 		return Placement{}, err
 	}
-	frac, err := lp2Relaxation(ctx, in, k)
+	frac, _, err := lp2Relaxation(ctx, in, k)
 	if err != nil {
 		return Placement{}, err
 	}
@@ -64,8 +64,9 @@ func RandomizedRounding(ctx context.Context, in *core.Instance, k float64, seed 
 }
 
 // lp2Relaxation solves the continuous relaxation of Linear program 2
-// and returns the fractional x̄ per edge.
-func lp2Relaxation(ctx context.Context, in *core.Instance, k float64) ([]float64, error) {
+// and returns the fractional x̄ per edge plus the relaxation optimum
+// (the LP lower bound on the device count).
+func lp2Relaxation(ctx context.Context, in *core.Instance, k float64) ([]float64, float64, error) {
 	p := lp.NewProblem(lp.Minimize)
 	m := in.G.NumEdges()
 	xs := make([]lp.Var, m)
@@ -92,16 +93,16 @@ func lp2Relaxation(ctx context.Context, in *core.Instance, k float64) ([]float64
 
 	sol, err := p.SolveContext(ctx)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if sol.Status != lp.Optimal {
-		return nil, errStatus(sol.Status)
+		return nil, 0, errStatus(sol.Status)
 	}
 	out := make([]float64, m)
 	for e := 0; e < m; e++ {
 		out[e] = sol.Value(xs[e])
 	}
-	return out, nil
+	return out, sol.Objective, nil
 }
 
 type errStatus lp.Status

@@ -1,0 +1,236 @@
+// Package scenario is the workload-family subsystem: a string-keyed
+// registry of seeded scenario generators (mirroring the solver registry
+// of the repro facade) that turn a (family, size, seed) triple into a
+// reproducible POP topology plus traffic matrix, ready to route into
+// solver instances.
+//
+// The paper evaluates only two Rocketfuel-derived POP sizes (10
+// routers/132 traffics and 15 routers/1980 traffics, §4.4); the
+// built-in families extend the instance methodology to Waxman
+// geometric, Barabási–Albert power-law, ring/ladder metro, fat-tree
+// access and size-parameterized two-level POPs, crossed with
+// preferred-pair, gravity-model, Zipf heavy-tailed and churned traffic
+// matrices. internal/scenariotest locks every registered solver to
+// shared invariants across all of them.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Scenario is one generated instance of a family: the POP, the
+// un-routed demand set, and the triple that reproduces both.
+type Scenario struct {
+	Family string
+	Size   int
+	Seed   int64
+
+	POP     *topology.POP
+	Demands []traffic.Demand
+}
+
+// Instance routes the demands on shortest paths into a single-routed
+// PPM instance (§4.4 semantics).
+func (s *Scenario) Instance() (*core.Instance, error) {
+	return traffic.Route(s.POP, s.Demands)
+}
+
+// MultiInstance routes the demands over up to maxRoutes load-balanced
+// shortest routes into a §5 multi-routed instance.
+func (s *Scenario) MultiInstance(maxRoutes int) (*core.MultiInstance, error) {
+	return traffic.RouteMulti(s.POP, s.Demands, maxRoutes)
+}
+
+// Family is a named, seeded scenario generator. Generate must be a
+// pure function of (size, seed): identical arguments produce identical
+// scenarios, byte-for-byte, regardless of concurrency — the engine
+// determinism suite regression-tests this for every built-in family.
+type Family struct {
+	// Name is the registry key, e.g. "waxman".
+	Name string
+	// Description is a one-line summary for CLI listings.
+	Description string
+	// MinSize is the smallest router count the family supports.
+	MinSize int
+	// Generate builds the scenario for a router count and seed.
+	Generate func(size int, seed int64) (*Scenario, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Family
+}{m: make(map[string]Family)}
+
+// Register adds f to the package registry under f.Name. It errors on
+// an empty or already-taken name or a nil generator.
+func Register(f Family) error {
+	if f.Name == "" {
+		return fmt.Errorf("scenario: family with empty name")
+	}
+	if f.Generate == nil {
+		return fmt.Errorf("scenario: family %q has nil generator", f.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[f.Name]; dup {
+		return fmt.Errorf("scenario: family %q already registered", f.Name)
+	}
+	registry.m[f.Name] = f
+	return nil
+}
+
+func mustRegister(f Family) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered family by name.
+func Lookup(name string) (Family, error) {
+	registry.RLock()
+	defer registry.RUnlock()
+	f, ok := registry.m[name]
+	if !ok {
+		return Family{}, fmt.Errorf("scenario: unknown family %q (known: %v)", name, namesLocked())
+	}
+	return f, nil
+}
+
+// Families lists all registered family names, sorted.
+func Families() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry.m))
+	for n := range registry.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate looks a family up and draws the scenario for (size, seed) —
+// the one-call form the CLIs and the facade use.
+func Generate(family string, size int, seed int64) (*Scenario, error) {
+	f, err := Lookup(family)
+	if err != nil {
+		return nil, err
+	}
+	if size < f.MinSize {
+		return nil, fmt.Errorf("scenario: family %q needs size ≥ %d, got %d", family, f.MinSize, size)
+	}
+	s, err := f.Generate(size, seed)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s(size=%d, seed=%d): %w", family, size, seed, err)
+	}
+	return s, nil
+}
+
+// endpointCount scales the virtual-endpoint count with the router
+// count: size/2 + 2, at least 4 — small enough that the all-pairs
+// demand matrix stays tractable across the size sweep, large enough
+// that every instance has a non-trivial traffic mix.
+func endpointCount(size int) int {
+	n := size/2 + 2
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// subSeeds derives independent topology and traffic seeds from one
+// scenario seed, so families composing a topology generator with a
+// traffic model expose exactly one seed to callers.
+func subSeeds(seed int64) (*rand.Rand, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	topoRng := rand.New(rand.NewSource(rng.Int63()))
+	trafficSeed := rng.Int63()
+	return topoRng, trafficSeed
+}
+
+func scenarioOf(family string, size int, seed int64, pop *topology.POP, dem []traffic.Demand) *Scenario {
+	return &Scenario{Family: family, Size: size, Seed: seed, POP: pop, Demands: dem}
+}
+
+func init() {
+	mustRegister(Family{
+		Name:        "pop",
+		Description: "size-parameterized two-level paper POP, preferred-pair traffic (§4.4 scaled)",
+		MinSize:     3,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.Scale(size, topoRng)
+			dem := traffic.Demands(pop, traffic.Config{Seed: tseed})
+			return scenarioOf("pop", size, seed, pop, dem), nil
+		},
+	})
+	mustRegister(Family{
+		Name:        "waxman",
+		Description: "Waxman geometric backbone, gravity-model traffic",
+		MinSize:     3,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.Waxman(size, endpointCount(size), topoRng)
+			dem := traffic.Gravity(pop, traffic.GravityConfig{Seed: tseed})
+			return scenarioOf("waxman", size, seed, pop, dem), nil
+		},
+	})
+	mustRegister(Family{
+		Name:        "barabasi",
+		Description: "Barabási–Albert power-law backbone, Zipf heavy-tailed traffic",
+		MinSize:     3,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.BarabasiAlbert(size, endpointCount(size), topoRng)
+			dem := traffic.Zipf(pop, traffic.ZipfConfig{Seed: tseed})
+			return scenarioOf("barabasi", size, seed, pop, dem), nil
+		},
+	})
+	mustRegister(Family{
+		Name:        "metro",
+		Description: "ring/ladder metro core, gravity-model traffic",
+		MinSize:     4,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.RingLadder(size, endpointCount(size), topoRng)
+			dem := traffic.Gravity(pop, traffic.GravityConfig{Seed: tseed})
+			return scenarioOf("metro", size, seed, pop, dem), nil
+		},
+	})
+	mustRegister(Family{
+		Name:        "fattree",
+		Description: "fat-tree access tiers, preferred-pair traffic",
+		MinSize:     6,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.FatTree(size, endpointCount(size), topoRng)
+			dem := traffic.Demands(pop, traffic.Config{Seed: tseed})
+			return scenarioOf("fattree", size, seed, pop, dem), nil
+		},
+	})
+	mustRegister(Family{
+		Name:        "churn",
+		Description: "two-level paper POP under traffic churn (drop/add/rescale mutation)",
+		MinSize:     3,
+		Generate: func(size int, seed int64) (*Scenario, error) {
+			topoRng, tseed := subSeeds(seed)
+			pop := topology.Scale(size, topoRng)
+			dem := traffic.Demands(pop, traffic.Config{Seed: tseed})
+			churned, err := traffic.Churn(pop, dem, traffic.ChurnConfig{Seed: tseed + 1})
+			if err != nil {
+				return nil, err
+			}
+			return scenarioOf("churn", size, seed, pop, traffic.Aggregate(churned)), nil
+		},
+	})
+}

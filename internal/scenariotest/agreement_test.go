@@ -1,0 +1,114 @@
+package scenariotest
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/engine"
+	"repro/internal/passive"
+	"repro/internal/scenario"
+)
+
+// TestSolverAgreement100 is the 100-instance cross-solver consistency
+// suite over the scenario families (extending the PR 4 oracle suites
+// beyond figure-shaped instances): on every instance tap/ilp,
+// tap/greedy-gain (checked against the LP lower bound) and
+// tap/portfolio must report mutually consistent Optimal/Bound/Gap
+// relationships.
+func TestSolverAgreement100(t *testing.T) {
+	fams := scenario.Families()
+	type cell struct {
+		fam  string
+		size int
+		seed int64
+	}
+	base, span := 7, 5 // sizes 7..11 cycle
+	if testing.Short() {
+		base, span = 6, 3 // smaller instances, same 100-instance count
+	}
+	var cells []cell
+	for i := 0; len(cells) < 100; i++ {
+		cells = append(cells, cell{
+			fam:  fams[i%len(fams)],
+			size: base + (i/len(fams))%span,
+			seed: int64(100 + i),
+		})
+	}
+	const k = 0.92
+	ctx := context.Background()
+	_, err := engine.Map(ctx, engine.New(engine.Options{}), len(cells), func(ctx context.Context, i int) (struct{}, error) {
+		c := cells[i]
+		size := c.size
+		if f, _ := scenario.Lookup(c.fam); size < f.MinSize {
+			size = f.MinSize
+		}
+		s, err := scenario.Generate(c.fam, size, c.seed)
+		if err != nil {
+			t.Errorf("%s/%d/%d: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+		in, err := s.Instance()
+		if err != nil {
+			t.Errorf("%s/%d/%d: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+
+		ilp, err := repro.Solve(ctx, repro.SolverTapILP, in, repro.WithCoverage(k))
+		if err != nil {
+			t.Errorf("%s/%d/%d ilp: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+		greedy, err := repro.Solve(ctx, repro.SolverTapGreedyGain, in, repro.WithCoverage(k))
+		if err != nil {
+			t.Errorf("%s/%d/%d greedy: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+		port, err := repro.Solve(ctx, repro.SolverTapPortfolio, in, repro.WithCoverage(k))
+		if err != nil {
+			t.Errorf("%s/%d/%d portfolio: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+		lpOpt, err := passive.LinearRelaxation(ctx, in, k)
+		if err != nil {
+			t.Errorf("%s/%d/%d relaxation: %v", c.fam, size, c.seed, err)
+			return struct{}{}, nil
+		}
+
+		id := func() string { return c.fam }
+		// Optimal/Bound/Gap self-consistency of the exact solver.
+		if ilp.Optimal {
+			if ilp.Gap != 0 {
+				t.Errorf("%s/%d/%d: optimal ILP reports gap %g", id(), size, c.seed, ilp.Gap)
+			}
+		} else if ilp.Bound != 0 && math.Abs(ilp.Gap-math.Abs(ilp.Objective-ilp.Bound)) > 1e-9 {
+			t.Errorf("%s/%d/%d: ILP gap %g ≠ |obj−bound| = %g", id(), size, c.seed, ilp.Gap, math.Abs(ilp.Objective-ilp.Bound))
+		}
+		if ilp.Bound > ilp.Objective+1e-6 {
+			t.Errorf("%s/%d/%d: ILP bound %g above objective %g", id(), size, c.seed, ilp.Bound, ilp.Objective)
+		}
+		// Greedy vs the LP lower bound and the exact optimum.
+		if greedy.Optimal {
+			t.Errorf("%s/%d/%d: greedy claims optimality", id(), size, c.seed)
+		}
+		if greedy.Objective < math.Ceil(lpOpt-1e-6)-1e-6 {
+			t.Errorf("%s/%d/%d: greedy %g below LP bound ⌈%g⌉", id(), size, c.seed, greedy.Objective, lpOpt)
+		}
+		if ilp.Optimal && greedy.Objective < ilp.Objective-1e-6 {
+			t.Errorf("%s/%d/%d: greedy %g beats exact %g", id(), size, c.seed, greedy.Objective, ilp.Objective)
+		}
+		// The portfolio (greedy-gain + flow + ilp raced) can never do
+		// worse than greedy-gain, nor better than the exact optimum.
+		if port.Objective > greedy.Objective+1e-6 {
+			t.Errorf("%s/%d/%d: portfolio %g worse than member greedy %g", id(), size, c.seed, port.Objective, greedy.Objective)
+		}
+		if ilp.Optimal && port.Objective < ilp.Objective-1e-6 {
+			t.Errorf("%s/%d/%d: portfolio %g beats exact optimum %g", id(), size, c.seed, port.Objective, ilp.Objective)
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+}

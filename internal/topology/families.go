@@ -1,0 +1,367 @@
+package topology
+
+// Scenario-family generators beyond the paper's two Rocketfuel-derived
+// POP sizes. The paper (§4.4) evaluates on instances inferred by the
+// Rocketfuel tool [21]; these families open the workloads the ROADMAP
+// asks for: geometric (Waxman), power-law (Barabási–Albert), metro
+// ring/ladder cores, fat-tree access tiers, and a size-parameterized
+// variant of the paper's own two-level POP. Every generator draws all
+// randomness from an explicit *rand.Rand — no package-level rand — so
+// one seed deterministically reproduces an instance regardless of how
+// many generators run concurrently.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// builder accumulates POP nodes and de-duplicated links with the class
+// bookkeeping every family shares.
+type builder struct {
+	pop     *POP
+	present map[[2]graph.NodeID]bool
+}
+
+func newBuilder() *builder {
+	return &builder{pop: &POP{G: graph.New()}, present: make(map[[2]graph.NodeID]bool)}
+}
+
+func (b *builder) node(label string, kind NodeKind) graph.NodeID {
+	id := b.pop.G.AddNode(label)
+	b.pop.Kind = append(b.pop.Kind, kind)
+	switch kind {
+	case Backbone:
+		b.pop.Backbone = append(b.pop.Backbone, id)
+	case Access:
+		b.pop.Access = append(b.pop.Access, id)
+	default:
+		b.pop.Endpoints = append(b.pop.Endpoints, id)
+	}
+	return id
+}
+
+// link adds an undirected link once; self-loops and duplicates are
+// ignored (reports whether a link was added).
+func (b *builder) link(u, v graph.NodeID, capacity float64) bool {
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if b.present[[2]graph.NodeID{u, v}] {
+		return false
+	}
+	b.present[[2]graph.NodeID{u, v}] = true
+	b.pop.G.AddEdge(u, v, capacity)
+	return true
+}
+
+// routerCapacity grades a router-to-router link by the classes of its
+// endpoints: backbone–backbone OC-192, backbone–access OC-48,
+// access–access OC-12 (§3's link hierarchy).
+func (b *builder) routerCapacity(u, v graph.NodeID) float64 {
+	switch {
+	case b.pop.Kind[u] == Backbone && b.pop.Kind[v] == Backbone:
+		return OC192
+	case b.pop.Kind[u] == Backbone || b.pop.Kind[v] == Backbone:
+		return OC48
+	}
+	return OC12
+}
+
+// attachEndpoints hangs n virtual traffic endpoints off the routers:
+// peers (fraction peerFrac) on backbone routers with OC-48 links,
+// customers on access routers with OC-12 links. When a class is empty
+// the other absorbs its share.
+func (b *builder) attachEndpoints(n int, peerFrac float64, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		if (rng.Float64() < peerFrac && len(b.pop.Backbone) > 0) || len(b.pop.Access) == 0 {
+			ep := b.node(fmt.Sprintf("peer%d", i), Virtual)
+			b.pop.G.AddEdge(ep, b.pop.Backbone[rng.Intn(len(b.pop.Backbone))], OC48)
+		} else {
+			ep := b.node(fmt.Sprintf("cust%d", i), Virtual)
+			b.pop.G.AddEdge(ep, b.pop.Access[rng.Intn(len(b.pop.Access))], OC12)
+		}
+	}
+}
+
+// connectComponents links disconnected router components until the
+// graph is connected, preferring pairs the family's geometry would
+// favor when positions are known (nil positions fall back to the
+// lowest-ID node of each component).
+func (b *builder) connectComponents(pos [][2]float64) {
+	g := b.pop.G
+	for {
+		if g.Connected() {
+			return
+		}
+		reach := g.Reachable(0)
+		inMain := make([]bool, g.NumNodes())
+		for _, n := range reach {
+			inMain[n] = true
+		}
+		// Closest (main, outside) pair under the family geometry, or the
+		// first outside node to the first main node without positions.
+		bestU, bestV := graph.NodeID(-1), graph.NodeID(-1)
+		bestD := math.Inf(1)
+		for v := 0; v < g.NumNodes(); v++ {
+			if inMain[v] {
+				continue
+			}
+			for _, u := range reach {
+				d := 1.0
+				if pos != nil {
+					dx := pos[u][0] - pos[v][0]
+					dy := pos[u][1] - pos[v][1]
+					d = dx*dx + dy*dy
+				}
+				if d < bestD {
+					bestD, bestU, bestV = d, u, graph.NodeID(v)
+				}
+				if pos == nil {
+					break
+				}
+			}
+			if pos == nil {
+				break
+			}
+		}
+		b.link(bestU, bestV, b.routerCapacity(bestU, bestV))
+	}
+}
+
+// backboneCount picks the number of backbone routers for a family of n
+// routers: roughly a third, at least 2, leaving at least one access
+// router.
+func backboneCount(n int, frac float64) int {
+	nb := int(float64(n)*frac + 0.5)
+	if nb < 2 {
+		nb = 2
+	}
+	if nb > n-1 {
+		nb = n - 1
+	}
+	return nb
+}
+
+// Waxman generates a Waxman geometric POP: routers drop uniformly on
+// the unit square and each pair is linked with probability
+// α·exp(−d/(β·L)) where d is Euclidean distance and L = √2 the square's
+// diameter (Waxman's classic random-topology model, the generator
+// Rocketfuel-era studies compare against). The first ~30% of routers
+// are backbone. Disconnected leftovers are joined along shortest
+// geometric distance, endpoints attach per attachEndpoints.
+func Waxman(routers, endpoints int, rng *rand.Rand) *POP {
+	if routers < 3 || endpoints < 2 {
+		panic(fmt.Sprintf("topology: Waxman needs ≥3 routers and ≥2 endpoints, got %d/%d", routers, endpoints))
+	}
+	const alpha, beta = 0.6, 0.25
+	b := newBuilder()
+	nb := backboneCount(routers, 0.3)
+	pos := make([][2]float64, routers)
+	for i := 0; i < routers; i++ {
+		kind, label := Access, fmt.Sprintf("ar%d", i-nb)
+		if i < nb {
+			kind, label = Backbone, fmt.Sprintf("bb%d", i)
+		}
+		b.node(label, kind)
+		pos[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	diag := math.Sqrt2
+	for u := 0; u < routers; u++ {
+		for v := u + 1; v < routers; v++ {
+			dx, dy := pos[u][0]-pos[v][0], pos[u][1]-pos[v][1]
+			d := math.Sqrt(dx*dx + dy*dy)
+			if rng.Float64() < alpha*math.Exp(-d/(beta*diag)) {
+				b.link(graph.NodeID(u), graph.NodeID(v), b.routerCapacity(graph.NodeID(u), graph.NodeID(v)))
+			}
+		}
+	}
+	b.connectComponents(pos)
+	b.attachEndpoints(endpoints, 0.25, rng)
+	return b.pop
+}
+
+// BarabasiAlbert generates a power-law POP by preferential attachment:
+// a 3-router seed clique, then every new router links to 2 distinct
+// existing routers chosen proportionally to degree. Early high-degree
+// routers become the backbone (the hubs a scale-free ISP core grows),
+// and endpoints also attach preferentially, concentrating customer
+// links on hubs the way heavy-tailed access distributions do.
+func BarabasiAlbert(routers, endpoints int, rng *rand.Rand) *POP {
+	if routers < 3 || endpoints < 2 {
+		panic(fmt.Sprintf("topology: BarabasiAlbert needs ≥3 routers and ≥2 endpoints, got %d/%d", routers, endpoints))
+	}
+	b := newBuilder()
+	nb := backboneCount(routers, 0.2)
+	if nb < 3 {
+		nb = 3
+	}
+	ids := make([]graph.NodeID, 0, routers)
+	for i := 0; i < routers; i++ {
+		kind, label := Access, fmt.Sprintf("ar%d", i-nb)
+		if i < nb {
+			kind, label = Backbone, fmt.Sprintf("bb%d", i)
+		}
+		ids = append(ids, b.node(label, kind))
+	}
+	// targets lists every router once per incident link, so uniform
+	// sampling from it is degree-proportional sampling.
+	var targets []graph.NodeID
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			b.link(ids[i], ids[j], b.routerCapacity(ids[i], ids[j]))
+			targets = append(targets, ids[i], ids[j])
+		}
+	}
+	for i := 3; i < routers; i++ {
+		// Draw 2 distinct degree-proportional targets; a slice (not a
+		// map) keeps link IDs in draw order so identical seeds produce
+		// byte-identical graphs.
+		var attached []graph.NodeID
+		for len(attached) < 2 {
+			t := targets[rng.Intn(len(targets))]
+			if t != ids[i] && (len(attached) == 0 || attached[0] != t) {
+				attached = append(attached, t)
+			}
+		}
+		for _, t := range attached {
+			b.link(ids[i], t, b.routerCapacity(ids[i], t))
+			targets = append(targets, t)
+		}
+		targets = append(targets, ids[i], ids[i])
+	}
+	// Endpoints attach preferentially too.
+	for i := 0; i < endpoints; i++ {
+		t := targets[rng.Intn(len(targets))]
+		if b.pop.Kind[t] == Backbone {
+			ep := b.node(fmt.Sprintf("peer%d", i), Virtual)
+			b.pop.G.AddEdge(ep, t, OC48)
+		} else {
+			ep := b.node(fmt.Sprintf("cust%d", i), Virtual)
+			b.pop.G.AddEdge(ep, t, OC12)
+		}
+	}
+	return b.pop
+}
+
+// RingLadder generates a metro-core POP: a backbone ring (the metro
+// optical ring), an access rail running parallel to it, and ladder
+// rungs homing every access router onto two consecutive backbone
+// routers — the dual-homed ring/ladder layout metro aggregation
+// networks use. A few random chords model express links.
+func RingLadder(routers, endpoints int, rng *rand.Rand) *POP {
+	if routers < 4 || endpoints < 2 {
+		panic(fmt.Sprintf("topology: RingLadder needs ≥4 routers and ≥2 endpoints, got %d/%d", routers, endpoints))
+	}
+	b := newBuilder()
+	nb := backboneCount(routers, 0.5)
+	if nb < 3 {
+		nb = 3
+	}
+	for i := 0; i < nb; i++ {
+		b.node(fmt.Sprintf("bb%d", i), Backbone)
+	}
+	na := routers - nb
+	for i := 0; i < na; i++ {
+		b.node(fmt.Sprintf("ar%d", i), Access)
+	}
+	bb, ar := b.pop.Backbone, b.pop.Access
+	for i := 0; i < nb; i++ {
+		b.link(bb[i], bb[(i+1)%nb], OC192)
+	}
+	// Access rail + rungs: ar[i] sits "between" bb[i mod nb] and
+	// bb[(i+1) mod nb].
+	for i := 0; i < na; i++ {
+		if na > 1 {
+			b.link(ar[i], ar[(i+1)%na], OC12)
+		}
+		b.link(ar[i], bb[i%nb], OC48)
+		b.link(ar[i], bb[(i+1)%nb], OC48)
+	}
+	// Express chords across the backbone ring.
+	for i := 0; i < nb/3; i++ {
+		u := bb[rng.Intn(nb)]
+		v := bb[rng.Intn(nb)]
+		b.link(u, v, OC192)
+	}
+	b.attachEndpoints(endpoints, 0.3, rng)
+	return b.pop
+}
+
+// FatTree generates a fat-tree-style access tier: a small core layer
+// (backbone), aggregation and edge layers (access) wired in pods —
+// every aggregation router uplinks to every core router, every edge
+// router dual-homes onto the two aggregation routers of its pod.
+// Endpoints attach to edge routers round-robin, so traffic funnels up
+// the tiers the way data-center-style access networks load the core.
+func FatTree(routers, endpoints int, rng *rand.Rand) *POP {
+	if routers < 6 || endpoints < 2 {
+		panic(fmt.Sprintf("topology: FatTree needs ≥6 routers and ≥2 endpoints, got %d/%d", routers, endpoints))
+	}
+	b := newBuilder()
+	ncore := routers / 5
+	if ncore < 2 {
+		ncore = 2
+	}
+	nagg := (routers - ncore) / 2
+	if nagg < 2 {
+		nagg = 2
+	}
+	nedge := routers - ncore - nagg
+	for i := 0; i < ncore; i++ {
+		b.node(fmt.Sprintf("core%d", i), Backbone)
+	}
+	var agg, edge []graph.NodeID
+	for i := 0; i < nagg; i++ {
+		agg = append(agg, b.node(fmt.Sprintf("agg%d", i), Access))
+	}
+	for i := 0; i < nedge; i++ {
+		edge = append(edge, b.node(fmt.Sprintf("edge%d", i), Access))
+	}
+	for _, a := range agg {
+		for _, c := range b.pop.Backbone {
+			b.link(a, c, OC192)
+		}
+	}
+	for i, e := range edge {
+		b.link(e, agg[i%nagg], OC48)
+		b.link(e, agg[(i+1)%nagg], OC48)
+	}
+	// Endpoints spread across edge routers round-robin with a random
+	// starting offset; peers hang off the core.
+	off := rng.Intn(nedge)
+	for i := 0; i < endpoints; i++ {
+		if rng.Float64() < 0.15 {
+			ep := b.node(fmt.Sprintf("peer%d", i), Virtual)
+			b.pop.G.AddEdge(ep, b.pop.Backbone[rng.Intn(ncore)], OC48)
+		} else {
+			ep := b.node(fmt.Sprintf("cust%d", i), Virtual)
+			b.pop.G.AddEdge(ep, edge[(off+i)%nedge], OC12)
+		}
+	}
+	return b.pop
+}
+
+// Scale generates a size-parameterized variant of the paper's two-level
+// POP (§2, Figure 2): n routers with the paper's link and endpoint
+// densities (links ≈ 1.7·n as in the 10-router/15-link and
+// 15-router/26-link instances, endpoints ≈ 1.2·n matching the 12 and
+// 45 endpoint counts' lower end), so the paper's figure-suite topology
+// extends smoothly to any size.
+func Scale(routers int, rng *rand.Rand) *POP {
+	endpoints := routers + routers/5
+	if endpoints < 4 {
+		endpoints = 4
+	}
+	cfg := Config{
+		Routers:          routers,
+		InterRouterLinks: routers + (routers*7)/10,
+		Endpoints:        endpoints,
+	}
+	return GenerateRand(cfg, rng)
+}

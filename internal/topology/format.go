@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -37,7 +38,16 @@ func Write(w io.Writer, pop *POP) error {
 }
 
 // Parse reads a POP in the format produced by Write.
-func Parse(r io.Reader) (*POP, error) {
+//
+// Deprecated: Parse is the historical name of Read; new code should
+// use Read, which pairs with Write.
+func Parse(r io.Reader) (*POP, error) { return Read(r) }
+
+// Read parses a POP in the format produced by Write. Malformed input
+// returns an error — never a panic: the parser is fuzzed (FuzzRead)
+// against malformed sections, out-of-order and non-dense node indices,
+// self-loop links and non-finite capacities.
+func Read(r io.Reader) (*POP, error) {
 	sc := bufio.NewScanner(r)
 	g := graph.New()
 	pop := &POP{G: g}
@@ -85,8 +95,15 @@ func Parse(r io.Reader) (*POP, error) {
 			if u < 0 || u >= g.NumNodes() || v < 0 || v >= g.NumNodes() {
 				return nil, fmt.Errorf("topology: line %d: link endpoint out of range", lineNo)
 			}
-			if cap <= 0 {
-				return nil, fmt.Errorf("topology: line %d: non-positive capacity %g", lineNo, cap)
+			if u == v {
+				// graph.AddEdge panics on self-loops; reject them here so
+				// the parser returns errors, never panics.
+				return nil, fmt.Errorf("topology: line %d: self-loop link on node %d", lineNo, u)
+			}
+			// The comparison form also rejects NaN (NaN <= 0 is false,
+			// but so is NaN > 0).
+			if !(cap > 0) || math.IsInf(cap, 0) {
+				return nil, fmt.Errorf("topology: line %d: capacity %g not positive and finite", lineNo, cap)
 			}
 			g.AddEdge(graph.NodeID(u), graph.NodeID(v), cap)
 		default:

@@ -1,0 +1,63 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead fuzzes the Rocketfuel-style map parser: on ANY input Read
+// must return (*POP, nil) or (nil, error) — never panic — and an
+// accepted map must round-trip: Write(Read(input)) re-reads to a
+// byte-identical serialization. The committed corpus under
+// testdata/fuzz/FuzzRead seeds malformed sections, out-of-order and
+// non-dense node indices, self-loops and non-finite capacities.
+func FuzzRead(f *testing.F) {
+	f.Add("node 0 bb0 backbone\nnode 1 ar0 access\nlink 0 1 2488\n")
+	f.Add("# comment\n\nnode 0 a virtual\n")
+	f.Add("node 1 a backbone\n")                  // non-dense start
+	f.Add("node 0 a backbone\nnode 0 b access\n") // duplicate index
+	f.Add("node 0 a backbone\nnode 2 b access\n") // gap
+	f.Add("link 0 1 100\n")                       // link before nodes
+	f.Add("node 0 a backbone\nlink 0 0 10\n")     // self-loop
+	f.Add("node 0 a backbone\nnode 1 b access\nlink 0 1 NaN\n")
+	f.Add("node 0 a backbone\nnode 1 b access\nlink 0 1 +Inf\n")
+	f.Add("node 0 a backbone\nnode 1 b access\nlink 0 1 -5\n")
+	f.Add("node 0 a wat\n")                           // unknown kind
+	f.Add("frob 1 2 3\n")                             // unknown record
+	f.Add("node 0\n")                                 // short node line
+	f.Add("link 0 1\n")                               // short link line
+	f.Add("node 9999999999999999999999 a backbone\n") // overflow index
+
+	f.Fuzz(func(t *testing.T, input string) {
+		pop, err := Read(strings.NewReader(input))
+		if err != nil {
+			if pop != nil {
+				t.Fatalf("Read returned both a POP and error %v", err)
+			}
+			return
+		}
+		if pop.G.NumNodes() == 0 {
+			t.Fatal("Read accepted an empty map")
+		}
+		if len(pop.Kind) != pop.G.NumNodes() {
+			t.Fatalf("Kind has %d entries for %d nodes", len(pop.Kind), pop.G.NumNodes())
+		}
+		// Accepted maps round-trip byte-identically.
+		var first bytes.Buffer
+		if err := Write(&first, pop); err != nil {
+			t.Fatalf("Write after accept: %v", err)
+		}
+		again, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of written map: %v\nmap:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := Write(&second, again); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("Write→Read→Write not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first.String(), second.String())
+		}
+	})
+}

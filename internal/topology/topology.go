@@ -127,6 +127,15 @@ func (c Config) withDefaults() Config {
 // Generate builds a POP from the configuration. It panics on impossible
 // configurations (fewer than 3 routers or fewer than 2 endpoints).
 func Generate(cfg Config) *POP {
+	return GenerateRand(cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// GenerateRand is Generate drawing every random choice from the given
+// rng instead of cfg.Seed (which is ignored). It is the explicit-seed
+// entry the scenario families use: callers own the random stream, so
+// one seed can deterministically drive a whole topology + traffic
+// pipeline.
+func GenerateRand(cfg Config, rng *rand.Rand) *POP {
 	cfg = cfg.withDefaults()
 	if cfg.Routers < 3 {
 		panic(fmt.Sprintf("topology: need at least 3 routers, got %d", cfg.Routers))
@@ -134,7 +143,6 @@ func Generate(cfg Config) *POP {
 	if cfg.Endpoints < 2 {
 		panic(fmt.Sprintf("topology: need at least 2 endpoints, got %d", cfg.Endpoints))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	nb := int(float64(cfg.Routers)*cfg.BackboneFraction + 0.5)
 	if nb < 2 {

@@ -1,0 +1,142 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func modelPOP(seed int64) *topology.POP {
+	return topology.Scale(10, rand.New(rand.NewSource(seed)))
+}
+
+func TestGravityAllPairsPositive(t *testing.T) {
+	pop := modelPOP(1)
+	dem := Gravity(pop, GravityConfig{Seed: 7})
+	n := len(pop.Endpoints)
+	if len(dem) != n*(n-1) {
+		t.Fatalf("got %d demands, want %d", len(dem), n*(n-1))
+	}
+	var total float64
+	for _, d := range dem {
+		if d.Volume <= 0 || math.IsNaN(d.Volume) || math.IsInf(d.Volume, 0) {
+			t.Fatalf("bad volume %g", d.Volume)
+		}
+		if d.Src == d.Dst {
+			t.Fatalf("self-demand on %d", d.Src)
+		}
+		total += d.Volume
+	}
+	// Mass normalization: mean volume ≈ MeanVolume.
+	if mean := total / float64(len(dem)); math.Abs(mean-10) > 1e-9 {
+		t.Fatalf("mean volume %g, want 10", mean)
+	}
+	// Deterministic per seed.
+	again := Gravity(pop, GravityConfig{Seed: 7})
+	for i := range dem {
+		if dem[i] != again[i] {
+			t.Fatalf("demand %d differs across identical seeds", i)
+		}
+	}
+	if other := Gravity(pop, GravityConfig{Seed: 8}); other[0].Volume == dem[0].Volume {
+		t.Log("seed 7 and 8 coincide on the first demand (unlikely but not fatal)")
+	}
+}
+
+func TestZipfHeavyTail(t *testing.T) {
+	pop := modelPOP(2)
+	dem := Zipf(pop, ZipfConfig{Seed: 3})
+	n := len(pop.Endpoints)
+	if len(dem) != n*(n-1) {
+		t.Fatalf("got %d demands, want %d", len(dem), n*(n-1))
+	}
+	vols := make([]float64, len(dem))
+	for i, d := range dem {
+		if d.Volume <= 0 {
+			t.Fatalf("bad volume %g", d.Volume)
+		}
+		vols[i] = d.Volume
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vols)))
+	if vols[0] != 200 {
+		t.Fatalf("rank-1 volume %g, want MaxVolume 200", vols[0])
+	}
+	// Heavy tail: the top 10% of pairs carry the majority of volume.
+	var total, top float64
+	for i, v := range vols {
+		total += v
+		if i < len(vols)/10 {
+			top += v
+		}
+	}
+	if top < 0.5*total {
+		t.Fatalf("top decile carries %g of %g — not heavy-tailed", top, total)
+	}
+}
+
+func TestChurnMutates(t *testing.T) {
+	pop := modelPOP(3)
+	dem := Demands(pop, Config{Seed: 4})
+	out, err := Churn(pop, dem, ChurnConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("churn dropped everything")
+	}
+	for _, d := range out {
+		if d.Volume <= 0 {
+			t.Fatalf("bad volume %g", d.Volume)
+		}
+		if d.Src == d.Dst {
+			t.Fatalf("self-demand on %d", d.Src)
+		}
+	}
+	// The input must not be modified.
+	orig := Demands(pop, Config{Seed: 4})
+	for i := range dem {
+		if dem[i] != orig[i] {
+			t.Fatalf("Churn modified its input at %d", i)
+		}
+	}
+	// Deterministic per seed, different across seeds.
+	again, err := Churn(pop, dem, ChurnConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(out) {
+		t.Fatalf("identical seeds gave %d vs %d demands", len(out), len(again))
+	}
+	for i := range out {
+		if out[i] != again[i] {
+			t.Fatalf("churn demand %d differs across identical seeds", i)
+		}
+	}
+	if err := checkRoutable(pop, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Churn(pop, dem, ChurnConfig{Seed: 1, RescaleLow: 2, RescaleHigh: 1}); err == nil {
+		t.Fatal("want error for inverted rescale range")
+	}
+}
+
+func checkRoutable(pop *topology.POP, dem []Demand) error {
+	_, err := Route(pop, Aggregate(dem))
+	return err
+}
+
+func TestAggregateMergesDuplicates(t *testing.T) {
+	pop := modelPOP(6)
+	a, b := pop.Endpoints[0], pop.Endpoints[1]
+	dem := []Demand{{Src: a, Dst: b, Volume: 1}, {Src: b, Dst: a, Volume: 2}, {Src: a, Dst: b, Volume: 3}}
+	out := Aggregate(dem)
+	if len(out) != 2 {
+		t.Fatalf("got %d demands, want 2", len(out))
+	}
+	if out[0].Volume != 4 || out[0].Src != a {
+		t.Fatalf("merged volume %g on %d→%d, want 4 on %d→%d", out[0].Volume, out[0].Src, out[0].Dst, a, b)
+	}
+}

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScenarioBatch drives the facade path: generate a family batch,
+// solve it on the batch runner, and check the per-seed results line up
+// with one-off solves.
+func TestScenarioBatch(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	problems, err := ScenarioBatch("metro", 10, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != len(seeds) {
+		t.Fatalf("got %d problems, want %d", len(problems), len(seeds))
+	}
+	ctx := context.Background()
+	results, err := SolveBatch(ctx, SolverTapGreedyGain, problems, WithCoverage(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range problems {
+		one, err := Solve(ctx, SolverTapGreedyGain, p, WithCoverage(0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.Objective != results[i].Objective {
+			t.Errorf("seed %d: batch objective %g, one-off %g", seeds[i], results[i].Objective, one.Objective)
+		}
+	}
+}
+
+// TestScenarioFamiliesExposed pins the facade registry surface.
+func TestScenarioFamiliesExposed(t *testing.T) {
+	fams := ScenarioFamilies()
+	if len(fams) < 5 {
+		t.Fatalf("want ≥5 built-in families, got %v", fams)
+	}
+	s, err := GenerateScenario(fams[0], 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.POP == nil || len(s.Demands) == 0 {
+		t.Fatal("scenario missing POP or demands")
+	}
+	if _, err := GenerateScenario("no-such", 10, 0); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+	dup := ScenarioFamily{
+		Name:     fams[0],
+		Generate: func(int, int64) (*Scenario, error) { return nil, nil },
+	}
+	if err := RegisterScenarioFamily(dup); err == nil {
+		t.Fatal("want duplicate-registration error")
+	}
+}
