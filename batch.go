@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -24,8 +25,9 @@ type Runner struct {
 
 // runnerConfig collects the RunnerOption knobs.
 type runnerConfig struct {
-	workers int
-	cache   bool
+	workers  int
+	cache    bool
+	cacheDir string
 }
 
 // RunnerOption configures NewRunner.
@@ -41,6 +43,15 @@ func WithWorkers(n int) RunnerOption { return func(c *runnerConfig) { c.workers 
 // is solved from scratch.
 func WithoutCache() RunnerOption { return func(c *runnerConfig) { c.cache = false } }
 
+// WithCacheDir persists the solve cache under dir, content-addressed by
+// the engine's canonical SHA-256 instance keys: every newly memoized
+// result is written through to one JSON file (atomically), and a new
+// runner over the same directory starts warm — the restart-surviving
+// store placementd serves from. The directory is created if missing;
+// when it cannot be created the runner degrades to memory-only
+// caching. WithoutCache disables persistence too.
+func WithCacheDir(dir string) RunnerOption { return func(c *runnerConfig) { c.cacheDir = dir } }
+
 // NewRunner builds a batch runner; by default GOMAXPROCS workers and a
 // memoizing solve cache.
 func NewRunner(opts ...RunnerOption) *Runner {
@@ -51,6 +62,11 @@ func NewRunner(opts ...RunnerOption) *Runner {
 	var cache *engine.Cache
 	if cfg.cache {
 		cache = engine.NewCache()
+		if cfg.cacheDir != "" {
+			// Best-effort: an unusable directory leaves the cache
+			// memory-only rather than failing the runner.
+			_ = attachCacheDir(cache, cfg.cacheDir)
+		}
 	}
 	return &Runner{eng: engine.New(engine.Options{Workers: cfg.workers, Cache: cache})}
 }
@@ -78,6 +94,10 @@ func (r *Runner) BatchStats() Stats {
 		Refactorizations: st.Refactorizations,
 		DevexResets:      st.DevexResets,
 		WarmStarts:       st.WarmStarts,
+		CutsAdded:        st.CutsAdded,
+		VarsFixed:        st.VarsFixed,
+		PresolveRemoved:  st.PresolveRemoved,
+		StrongBranches:   st.StrongBranches,
 	}
 }
 
@@ -94,6 +114,17 @@ func (r *Runner) BatchStats() Stats {
 // fresh solve under a different budget. The first failing problem
 // (lowest index, deterministically) aborts the batch.
 func (r *Runner) SolveBatch(ctx context.Context, solver string, problems []Problem, opts ...Option) ([]*Result, error) {
+	// Validate the whole batch up front: a bad entry should name itself
+	// by index here, not surface as a solver type error from deep inside
+	// the engine after the problems below it were already solved.
+	if solver == "" {
+		return nil, fmt.Errorf("repro: SolveBatch: empty solver name (known: %v)", Solvers())
+	}
+	for i, p := range problems {
+		if p == nil {
+			return nil, fmt.Errorf("repro: SolveBatch: problem %d is nil", i)
+		}
+	}
 	s, err := LookupSolver(solver)
 	if err != nil {
 		return nil, err
@@ -148,6 +179,10 @@ func (r *Runner) addStats(res *Result) {
 		Refactorizations: res.Stats.Refactorizations,
 		DevexResets:      res.Stats.DevexResets,
 		WarmStarts:       res.Stats.WarmStarts,
+		CutsAdded:        res.Stats.CutsAdded,
+		VarsFixed:        res.Stats.VarsFixed,
+		PresolveRemoved:  res.Stats.PresolveRemoved,
+		StrongBranches:   res.Stats.StrongBranches,
 	})
 }
 

@@ -1,7 +1,14 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -141,5 +148,117 @@ func TestSolveBatchPropagatesLowestError(t *testing.T) {
 		[]Problem{testInstance(t, 1), bad, bad}, WithCoverage(0.9))
 	if err == nil {
 		t.Fatal("bad problem accepted")
+	}
+}
+
+func TestSolveBatchRejectsEmptySolverAndNilProblem(t *testing.T) {
+	problems := []Problem{testInstance(t, 1), nil, testInstance(t, 2)}
+	if _, err := SolveBatch(context.Background(), "", problems[:1]); err == nil ||
+		!strings.Contains(err.Error(), "empty solver name") {
+		t.Fatalf("empty solver name: got %v, want an up-front error naming it", err)
+	}
+	_, err := SolveBatch(context.Background(), SolverTapExact, problems)
+	if err == nil || !strings.Contains(err.Error(), "problem 1 is nil") {
+		t.Fatalf("nil problem: got %v, want an up-front error carrying index 1", err)
+	}
+}
+
+func TestSolveBatchCancellationMidBatchReturnsIncumbents(t *testing.T) {
+	// A context canceled between problems must not abort the batch: the
+	// engine keeps scheduling and exact solvers degrade to their best
+	// incumbents, so every problem still reports a (non-optimal) result
+	// and no worker goroutine is left behind.
+	var problems []Problem
+	for seed := int64(1); seed <= 5; seed++ {
+		problems = append(problems, testInstance(t, seed))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	name := "test/cancel-after-first"
+	if err := RegisterSolver(SolverFunc{SolverName: name, Fn: func(ctx context.Context, p Problem, o Options) (*Result, error) {
+		if calls.Add(1) == 2 {
+			// Fires after problem 0 completed (single worker runs the
+			// batch strictly in order): problems 1.. see a dead context.
+			cancel()
+		}
+		return Solve(ctx, SolverTapExact, p, WithCoverage(o.Coverage))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	results, err := NewRunner(WithWorkers(1)).SolveBatch(ctx, name, problems, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(problems) {
+		t.Fatalf("got %d results for %d problems", len(results), len(problems))
+	}
+	if !results[0].Optimal {
+		t.Fatal("problem 0 solved before cancellation must be optimal")
+	}
+	for i, res := range results {
+		if res == nil || res.Taps == nil {
+			t.Fatalf("problem %d: no incumbent after cancellation", i)
+		}
+	}
+	for i, res := range results[2:] {
+		if res.Optimal {
+			t.Fatalf("problem %d claims optimality under a canceled context", i+2)
+		}
+	}
+	// No leaked workers: engine.Map joins its goroutines before
+	// returning; give the runtime a moment to retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before batch, %d after", before, n)
+	}
+}
+
+func TestRunnerCacheDirPersistsAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	problems := []Problem{testInstance(t, 1), testInstance(t, 2)}
+
+	cold := NewRunner(WithWorkers(1), WithCacheDir(dir))
+	first, err := cold.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cold.CacheCounts(); hits != 0 || misses != 2 {
+		t.Fatalf("cold runner counts = %d/%d hit/miss, want 0/2", hits, misses)
+	}
+
+	// A fresh runner over the same directory must serve both solves from
+	// the persisted store: zero misses, identical results.
+	warm := NewRunner(WithWorkers(1), WithCacheDir(dir))
+	second, err := warm.SolveBatch(context.Background(), SolverTapExact, problems, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := warm.CacheCounts(); hits != 2 || misses != 0 {
+		t.Fatalf("warm runner counts = %d/%d hit/miss, want 2/0 (disk store not loaded?)", hits, misses)
+	}
+	for i := range problems {
+		a, _ := json.Marshal(first[i])
+		b, _ := json.Marshal(second[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("problem %d: warm result differs from cold:\ncold %s\nwarm %s", i, a, b)
+		}
+	}
+
+	// The store is content-addressed by the canonical hex keys and
+	// ignores foreign files.
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	again := NewRunner(WithCacheDir(dir))
+	if _, err := again.SolveBatch(context.Background(), SolverTapExact, problems[:1], WithCoverage(0.95)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := again.CacheCounts(); hits != 1 || misses != 0 {
+		t.Fatalf("counts after junk file = %d/%d hit/miss, want 1/0", hits, misses)
 	}
 }

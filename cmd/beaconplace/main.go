@@ -23,6 +23,7 @@ import (
 
 	"repro"
 	"repro/internal/active"
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/topology"
 )
@@ -41,8 +42,13 @@ func run(args []string, out io.Writer) error {
 	nCand := fs.Int("candidates", 0, "size of the candidate set V_B (0 = all routers)")
 	method := fs.String("method", "all", "thiran|greedy|ilp|all, or any beacon/* registry name")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget per solve (0 = none)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(out, "beaconplace")
+		return nil
 	}
 
 	var cfg topology.Config

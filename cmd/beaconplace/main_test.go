@@ -61,3 +61,13 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runToString(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out, "beaconplace ") {
+		t.Fatalf("version output = %q", out)
+	}
+}

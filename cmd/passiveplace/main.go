@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/scenario"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -47,8 +48,13 @@ func run(args []string, out io.Writer) error {
 	budget := fs.Int("budget", 0, "with an ILP method: maximum number of devices (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the solve; on expiry the best incumbent is printed (0 = none)")
 	list := fs.Bool("solvers", false, "list registered solvers and exit")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(out, "passiveplace")
+		return nil
 	}
 	if *list {
 		for _, name := range repro.Solvers() {

@@ -121,3 +121,13 @@ func TestRunUnknownFamilyErrors(t *testing.T) {
 		t.Fatal("want error for unknown family")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runToString(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out, "passiveplace ") {
+		t.Fatalf("version output = %q", out)
+	}
+}

@@ -1,0 +1,224 @@
+// Command placeload is a load driver for placementd: it hammers
+// /v1/solve with -n requests from -c concurrent workers and reports
+// throughput and latency percentiles, plus a count of responses per
+// status code. Requests cycle through -seeds distinct scenario seeds,
+// so the cache-hit mix is controllable: -seeds 1 measures hot-cache
+// service overhead, -seeds n measures cold solves.
+//
+// Usage:
+//
+//	placeload -addr http://127.0.0.1:8080 -n 256 -c 64
+//	placeload -addr http://127.0.0.1:8080 -family metro -size 30 -seeds 8
+//	placeload -version
+//
+// Exit status is 0 when every request got an HTTP response (shed 429s
+// count as responses — they are the daemon's admission control working
+// as designed) and 1 when any transport error dropped a request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placeload:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// report is what one load run produces; the test and -json consume it.
+type report struct {
+	Requests   int                `json:"requests"`
+	Dropped    int                `json:"dropped"` // transport failures: no HTTP response at all
+	ByStatus   map[int]int        `json:"by_status"`
+	Seconds    float64            `json:"seconds"`
+	Throughput float64            `json:"throughput_rps"`
+	LatencyMS  map[string]float64 `json:"latency_ms"`
+}
+
+// run executes the load and prints the report; it returns the process
+// exit code (0 = nothing dropped) so main stays trivial.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("placeload", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "placementd base URL")
+	n := fs.Int("n", 128, "total requests")
+	c := fs.Int("c", 16, "concurrent workers")
+	solver := fs.String("solver", "tap/greedy-gain", "solver name sent with every request")
+	family := fs.String("family", "waxman", "scenario family")
+	size := fs.Int("size", 20, "scenario size")
+	seeds := fs.Int("seeds", 4, "distinct scenario seeds to cycle through")
+	coverage := fs.Float64("coverage", 0.9, "coverage target")
+	timeoutMS := fs.Int("timeout-ms", 0, "per-request solve deadline forwarded to the daemon (0 = none)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	version := fs.Bool("version", false, "print build information and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *version {
+		buildinfo.Fprint(out, "placeload")
+		return 0, nil
+	}
+	if *n <= 0 || *c <= 0 || *seeds <= 0 {
+		return 2, fmt.Errorf("-n, -c and -seeds must be positive")
+	}
+
+	rep, err := drive(*addr, loadSpec{
+		N: *n, C: *c,
+		Solver: *solver, Family: *family, Size: *size,
+		Seeds: *seeds, Coverage: *coverage, TimeoutMS: *timeoutMS,
+	})
+	if err != nil {
+		return 2, err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 2, err
+		}
+	} else {
+		printReport(out, rep)
+	}
+	if rep.Dropped > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+type loadSpec struct {
+	N, C      int
+	Solver    string
+	Family    string
+	Size      int
+	Seeds     int
+	Coverage  float64
+	TimeoutMS int
+}
+
+// drive fires spec.N requests from spec.C workers and aggregates the
+// outcome. Every worker shares one http.Client so connections are
+// reused the way a real client fleet's would be.
+func drive(addr string, spec loadSpec) (*report, error) {
+	type outcome struct {
+		status  int // 0 = transport error
+		latency time.Duration
+	}
+	bodies := make([][]byte, spec.Seeds)
+	for s := range bodies {
+		b, err := json.Marshal(map[string]any{
+			"solver":     spec.Solver,
+			"family":     spec.Family,
+			"size":       spec.Size,
+			"seed":       int64(s + 1),
+			"coverage":   spec.Coverage,
+			"timeout_ms": spec.TimeoutMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[s] = b
+	}
+
+	client := &http.Client{}
+	outcomes := make([]outcome, spec.N)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.C; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= spec.N {
+					return
+				}
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					outcomes[i] = outcome{status: 0, latency: time.Since(t0)}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				outcomes[i] = outcome{status: resp.StatusCode, latency: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Requests:  spec.N,
+		ByStatus:  make(map[int]int),
+		Seconds:   elapsed.Seconds(),
+		LatencyMS: make(map[string]float64),
+	}
+	latencies := make([]float64, 0, spec.N)
+	for _, o := range outcomes {
+		if o.status == 0 {
+			rep.Dropped++
+			continue
+		}
+		rep.ByStatus[o.status]++
+		latencies = append(latencies, float64(o.latency.Microseconds())/1000)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(spec.N-rep.Dropped) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"max", 1}} {
+		rep.LatencyMS[p.name] = percentile(latencies, p.q)
+	}
+	return rep, nil
+}
+
+// percentile returns the q-quantile of sorted (nearest-rank); 0 when
+// no sample answered.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func printReport(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "requests   %d (%d dropped)\n", rep.Requests, rep.Dropped)
+	codes := make([]int, 0, len(rep.ByStatus))
+	for c := range rep.ByStatus {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "  HTTP %d  %d\n", c, rep.ByStatus[c])
+	}
+	fmt.Fprintf(w, "elapsed    %.3fs  (%.1f req/s)\n", rep.Seconds, rep.Throughput)
+	fmt.Fprintf(w, "latency ms p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+		rep.LatencyMS["p50"], rep.LatencyMS["p90"], rep.LatencyMS["p99"], rep.LatencyMS["max"])
+}

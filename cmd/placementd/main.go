@@ -1,0 +1,108 @@
+// Command placementd is the long-lived placement-as-a-service daemon:
+// the internal/service HTTP subsystem on a socket. Clients POST
+// topology+traffic problems (or scenario-family triples) to /v1/solve
+// and /v1/batch and get placements back as JSON; /metrics serves
+// Prometheus text, /healthz liveness, /v1/families the scenario
+// registry. With -cache-dir the content-addressed result store
+// persists across restarts, so a replaced replica answers repeat
+// queries from disk at cache speed.
+//
+// Usage:
+//
+//	placementd -addr :8080 -cache-dir /var/cache/placementd
+//	placementd -addr 127.0.0.1:0            # ephemeral port, printed on stderr
+//	placementd -inflight 16 -queue 256      # admission-control bounds
+//	placementd -version
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight and
+// queued solves finish (bounded by -drain), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "placementd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until stop fires or the listener
+// fails. notify (optional) receives the bound address — the hook the
+// in-process tests use; scripts read the "listening on" stderr line.
+func run(args []string, out, progress io.Writer, notify func(net.Addr), stop <-chan os.Signal) error {
+	fs := flag.NewFlagSet("placementd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free one)")
+	cacheDir := fs.String("cache-dir", "", "persist the result store here so restarts are warm (empty = memory only)")
+	workers := fs.Int("workers", 0, "solver worker pool size (0 = GOMAXPROCS)")
+	inflight := fs.Int("inflight", 0, "max concurrently admitted requests (0 = 2x GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "max requests waiting for a slot before 429 shedding (0 = 128)")
+	maxTimeout := fs.Duration("max-timeout", time.Minute, "cap on client-requested solve deadlines")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight solves")
+	version := fs.Bool("version", false, "print build information and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		buildinfo.Fprint(out, "placementd")
+		return nil
+	}
+
+	svc, err := service.New(service.Config{
+		CacheDir:    *cacheDir,
+		Workers:     *workers,
+		MaxInFlight: *inflight,
+		MaxQueue:    *queue,
+		MaxTimeout:  *maxTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(progress, "placementd: listening on %s\n", ln.Addr())
+	if notify != nil {
+		notify(ln.Addr())
+	}
+
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(progress, "placementd: %v, draining (max %v)\n", sig, *drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	hits, misses := svc.Runner().CacheCounts()
+	fmt.Fprintf(progress, "placementd: drained, cache %d/%d hit/miss, bye\n", hits, misses)
+	return nil
+}

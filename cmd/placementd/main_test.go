@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon in-process on an ephemeral port and
+// returns its base URL, the stop channel, and the channel run's error
+// will arrive on.
+func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, chan error, *bytes.Buffer) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var progress bytes.Buffer
+	all := append([]string{"-addr", "127.0.0.1:0"}, args...)
+	go func() {
+		done <- run(all, io.Discard, &progress, func(a net.Addr) { addrCh <- a }, stop)
+	}()
+	select {
+	case a := <-addrCh:
+		return "http://" + a.String(), stop, done, &progress
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+	panic("unreachable")
+}
+
+func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
+	base, stop, done, progress := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	body := `{"solver":"tap/greedy-gain","family":"waxman","size":16,"seed":1,"coverage":0.9}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d: %s", resp.StatusCode, raw)
+	}
+	var sr struct {
+		Result struct {
+			Objective float64 `json:"objective"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("solve response: %v", err)
+	}
+	if sr.Result.Objective <= 0 {
+		t.Fatalf("objective = %g, want > 0", sr.Result.Objective)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	out := progress.String()
+	if !strings.Contains(out, "listening on") || !strings.Contains(out, "drained") {
+		t.Fatalf("progress log missing lifecycle lines:\n%s", out)
+	}
+}
+
+func TestDaemonCacheDirWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"solver":"tap/exact","family":"waxman","size":20,"seed":7,"coverage":1}`
+
+	solve := func(base string) []byte {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve status = %d: %s", resp.StatusCode, raw)
+		}
+		return raw
+	}
+	shutdown := func(stop chan os.Signal, done chan error) {
+		t.Helper()
+		stop <- syscall.SIGTERM
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+
+	base, stop, done, _ := startDaemon(t, "-cache-dir", dir)
+	cold := solve(base)
+	shutdown(stop, done)
+
+	base2, stop2, done2, progress := startDaemon(t, "-cache-dir", dir)
+	warm := solve(base2)
+	shutdown(stop2, done2)
+
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm response differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if !strings.Contains(progress.String(), "cache 1/0 hit/miss") {
+		t.Fatalf("restarted daemon should have served from the persisted cache:\n%s", progress.String())
+	}
+}
+
+func TestDaemonVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-version"}, &out, io.Discard, nil, nil); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "placementd ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}
+
+func TestDaemonRejectsBadListenAddr(t *testing.T) {
+	err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, io.Discard, nil, nil)
+	if err == nil {
+		t.Fatal("want listen error for bad address")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/scenario"
 	"repro/internal/topology"
@@ -41,8 +42,13 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 0, "generation seed")
 	format := fs.String("format", "map", "output format: map|dot")
 	loads := fs.Bool("loads", false, "with -format dot: weight edges by traffic load (Figure 6 style)")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(out, "popgen")
+		return nil
 	}
 	if *listFamilies {
 		for _, name := range scenario.Families() {

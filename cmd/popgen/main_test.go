@@ -118,3 +118,13 @@ func TestUnknownFamilyErrors(t *testing.T) {
 		t.Fatal("want error for unknown family")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runToFile(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out, "popgen ") {
+		t.Fatalf("version output = %q", out)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -48,8 +49,13 @@ func run(args []string, out, progress io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run; expired exact solves report their incumbents (0 = none)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "engine workers per figure (1 = serial; output is byte-identical either way)")
 	benchJSON := fs.String("bench-json", "", "time every figure at -seeds averaging and write the wall-clock JSON report here (e.g. BENCH_figs.json); series output is suppressed")
+	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		buildinfo.Fprint(out, "repro")
+		return nil
 	}
 	if *parallel <= 0 {
 		// Resolve the engine's "<= 0 means GOMAXPROCS" default up front
@@ -86,8 +92,8 @@ func run(args []string, out, progress io.Writer) error {
 		}
 		hits, misses := eng.Cache().Counts()
 		st := eng.Stats()
-		fmt.Fprintf(progress, "repro: %-8s %8.2fs  workers=%d cells=%d cache=%d/%d hit/miss  nodes=%d pivots=%d cuts=%d fixed=%d\n",
-			name, time.Since(start).Seconds(), eng.Workers(), eng.Tasks(), hits, misses, st.Nodes, st.Pivots, st.CutsAdded, st.VarsFixed)
+		fmt.Fprintf(progress, "repro: %-8s %8.2fs  workers=%d cells=%d cache=%d/%d hit/miss (%.1f%%)  nodes=%d pivots=%d cuts=%d fixed=%d\n",
+			name, time.Since(start).Seconds(), eng.Workers(), eng.Tasks(), hits, misses, 100*hitRate(hits, misses), st.Nodes, st.Pivots, st.CutsAdded, st.VarsFixed)
 		return nil
 	}
 
@@ -211,6 +217,19 @@ type benchEntry struct {
 	Nodes  int `json:"nodes"`
 	Pivots int `json:"pivots"`
 	Cuts   int `json:"cuts"`
+	// Memo-cache efficacy for the figure's engine: how much of the
+	// seed × sweep-point grid collapsed onto already-solved instances.
+	CacheHits    int     `json:"cache_hits"`
+	CacheMisses  int     `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// hitRate is hits/(hits+misses), 0 when the cache saw no lookups.
+func hitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // writeBenchJSON times the selected figures (-figure, default all)
@@ -269,9 +288,11 @@ func writeBenchJSON(ctx context.Context, path, figure string, seeds, parallel in
 		}
 		ms := float64(time.Since(start).Microseconds()) / 1000
 		st := eng.Stats()
+		hits, misses := eng.Cache().Counts()
 		report.Figures = append(report.Figures, benchEntry{Name: f.name, WallMS: ms,
-			Nodes: st.Nodes, Pivots: st.Pivots, Cuts: st.CutsAdded})
-		fmt.Fprintf(log, "bench %-10s %10.1f ms  nodes=%d pivots=%d cuts=%d\n", f.name, ms, st.Nodes, st.Pivots, st.CutsAdded)
+			Nodes: st.Nodes, Pivots: st.Pivots, Cuts: st.CutsAdded,
+			CacheHits: int(hits), CacheMisses: int(misses), CacheHitRate: hitRate(hits, misses)})
+		fmt.Fprintf(log, "bench %-10s %10.1f ms  nodes=%d pivots=%d cuts=%d cache=%d/%d\n", f.name, ms, st.Nodes, st.Pivots, st.CutsAdded, hits, misses)
 	}
 	if !matched {
 		return fmt.Errorf("unknown figure %q", figure)

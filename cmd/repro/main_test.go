@@ -119,3 +119,13 @@ func TestUnknownFigure(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runToString(t, "-version")
+	if err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out, "repro ") {
+		t.Fatalf("version output = %q", out)
+	}
+}

@@ -1,0 +1,55 @@
+// Package buildinfo reports the identity of the running binary from
+// the information the Go linker embeds (runtime/debug.ReadBuildInfo):
+// module version when the binary was built from a tagged module, VCS
+// revision and commit time otherwise. Every CLI in cmd/ exposes it
+// behind a -version flag, and placementd exports it as the
+// build_info metric, so a deployed fleet can always be mapped back to
+// the exact commit serving it.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns a single-token version for the running binary: the
+// module version when stamped ("v1.2.3"), else the (abbreviated) VCS
+// revision with a "-dirty" suffix for modified trees, else "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// Fprint writes the canonical -version line for cmd:
+//
+//	placementd devel go1.22.0 linux/amd64
+func Fprint(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s %s %s/%s\n", cmd, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,28 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() is empty")
+	}
+}
+
+func TestFprintFormat(t *testing.T) {
+	var sb strings.Builder
+	Fprint(&sb, "sometool")
+	out := sb.String()
+	if !strings.HasPrefix(out, "sometool "+Version()+" ") {
+		t.Fatalf("Fprint output = %q", out)
+	}
+	if !strings.Contains(out, runtime.Version()) || !strings.Contains(out, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Fatalf("Fprint output missing toolchain/platform: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Fprint output not newline-terminated: %q", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	onStore func(key string, value any)
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -53,6 +54,7 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
+	onStore := c.onStore
 	c.mu.Unlock()
 
 	c.misses.Add(1)
@@ -76,7 +78,63 @@ func (c *Cache) Do(key string, compute func() (any, error)) (any, error) {
 	}()
 	e.value, e.err = compute()
 	e.completed = true
+	if e.err == nil && onStore != nil {
+		// Save hook: the entry is being retained; hand it to the
+		// persistent store before waiters are released so a crash right
+		// after the solve still finds it on disk.
+		onStore(key, e.value)
+	}
 	return e.value, e.err
+}
+
+// Seed pre-populates the cache with a completed entry — the load hook a
+// persistent store uses to warm the cache at startup. It counts as
+// neither hit nor miss, does not fire the OnStore hook, and reports
+// whether the entry was installed (false when key is already present,
+// completed or in flight).
+func (c *Cache) Seed(key string, value any) bool {
+	e := &cacheEntry{done: make(chan struct{}), value: value, completed: true}
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = e
+	return true
+}
+
+// SetOnStore installs the save hook: fn is called once per newly
+// retained entry (after its computation succeeded), on the computing
+// goroutine, before waiters are released. Seeded entries, failed
+// computations and cancellation-degraded values never fire it. Install
+// the hook before the cache is shared; fn must be safe for concurrent
+// calls from different keys' computations.
+func (c *Cache) SetOnStore(fn func(key string, value any)) {
+	c.mu.Lock()
+	c.onStore = fn
+	c.mu.Unlock()
+}
+
+// Range calls fn for every retained completed entry, in unspecified
+// order, until fn returns false. In-flight and failed entries are
+// skipped; fn must not call back into the cache.
+func (c *Cache) Range(fn func(key string, value any) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		select {
+		case <-e.done:
+		default:
+			continue // still in flight
+		}
+		if e.err != nil || !e.completed {
+			continue
+		}
+		if !fn(key, e.value) {
+			return
+		}
+	}
 }
 
 // retry re-enters Do after joining a failed flight.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -280,5 +281,78 @@ func TestKeyMultiAndProbeSet(t *testing.T) {
 	}
 	if MustKey("x", nil, "cfg", 1) == MustKey("x", nil, "cfg", 2) {
 		t.Fatal("nil-problem parameter keys must differ")
+	}
+}
+
+func TestCacheSeedAndRange(t *testing.T) {
+	c := NewCache()
+	if !c.Seed("k1", 41) {
+		t.Fatal("seeding an empty cache must install the entry")
+	}
+	if c.Seed("k1", 99) {
+		t.Fatal("seeding an occupied key must be a no-op")
+	}
+	// A seeded entry is served without running compute and counts as a
+	// hit, exactly like a memoized solve.
+	v, err := c.Do("k1", func() (any, error) {
+		t.Fatal("compute ran for a seeded key")
+		return nil, nil
+	})
+	if err != nil || v.(int) != 41 {
+		t.Fatalf("Do(seeded) = %v, %v, want 41", v, err)
+	}
+	hits, misses := c.Counts()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("counts = %d/%d hit/miss, want 1/0 (Seed itself counts neither)", hits, misses)
+	}
+	if _, err := c.Do("k2", func() (any, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	c.Range(func(key string, value any) bool {
+		got[key] = value.(int)
+		return true
+	})
+	if len(got) != 2 || got["k1"] != 41 || got["k2"] != 7 {
+		t.Fatalf("Range saw %v, want k1:41 k2:7", got)
+	}
+	// Early termination: fn returning false stops the walk.
+	n := 0
+	c.Range(func(string, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range visited %d entries after false, want 1", n)
+	}
+}
+
+func TestCacheOnStoreHook(t *testing.T) {
+	c := NewCache()
+	var mu sync.Mutex
+	stored := map[string]any{}
+	c.SetOnStore(func(key string, value any) {
+		mu.Lock()
+		stored[key] = value
+		mu.Unlock()
+	})
+	if _, err := c.Do("a", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A second Do on the same key is a hit: the hook must not re-fire.
+	if _, err := c.Do("a", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("fail", func() (any, error) { return nil, errors.New("boom") }); err == nil {
+		t.Fatal("want compute error")
+	}
+	c.Seed("seeded", 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := New(Options{Workers: 1, Cache: c})
+	if _, err := r.CachedUnlessCanceled(ctx, "degraded", func() (any, error) {
+		cancel() // expire the context mid-compute: value must not persist
+		return 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(stored) != 1 || stored["a"] != 1 {
+		t.Fatalf("OnStore fired for %v, want exactly {a: 1} (no hits, failures, seeds, degraded values)", stored)
 	}
 }

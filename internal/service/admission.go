@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed is returned by acquire when both the in-flight slots and the
+// waiting queue are full; the handler maps it to 429 Too Many Requests.
+var errShed = errors.New("service: at capacity")
+
+// admission is the daemon's load gate: at most maxInFlight solves run
+// concurrently, at most maxQueue requests wait for a slot, and
+// everything beyond that is shed immediately with 429 — a full queue
+// must fail fast, not build an unbounded backlog whose every entry
+// times out. A batch request occupies one slot regardless of size (the
+// runner's worker pool bounds its internal parallelism).
+type admission struct {
+	inflight chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{inflight: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire blocks until an in-flight slot is free and returns its
+// release func. It fails with errShed when the wait queue is full, and
+// with ctx.Err() when the client gives up while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.inflight <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.shed.Add(1)
+		return nil, errShed
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.inflight <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.inflight }
+
+// InFlight returns the number of requests currently holding a slot.
+func (a *admission) InFlight() int { return len(a.inflight) }
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (a *admission) QueueDepth() int64 { return a.queued.Load() }
+
+// Shed returns the number of requests rejected at the gate.
+func (a *admission) Shed() int64 { return a.shed.Load() }

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/active"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// ProblemSpec names one solver problem in a request, in one of two
+// forms: a scenario-family triple (family, size, seed — resolved
+// through the scenario registry, so identical triples hash to
+// identical cache keys on every replica) or an inline topology (the
+// Rocketfuel-style map text of internal/topology) plus an explicit
+// demand list. Exactly one form must be used.
+type ProblemSpec struct {
+	// Scenario-named form.
+	Family string `json:"family,omitempty"`
+	Size   int    `json:"size,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+
+	// Inline form.
+	Topology string       `json:"topology,omitempty"`
+	Demands  []DemandSpec `json:"demands,omitempty"`
+
+	// MaxRoutes bounds the load-balanced routes per demand for
+	// sample/* solvers (default 2; ignored elsewhere).
+	MaxRoutes int `json:"max_routes,omitempty"`
+}
+
+// DemandSpec is one un-routed traffic request of an inline problem.
+type DemandSpec struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Volume float64 `json:"volume"`
+}
+
+// OptionsSpec carries the solver options of a request; zero fields mean
+// solver defaults. TimeoutMS maps to repro.WithTimeout, capped by the
+// server's MaxTimeout — note that time-bounded solves deliberately
+// bypass the result cache (a memoized incumbent must not masquerade as
+// a fresh solve under a different budget), so only deadline-free
+// requests are served from and persisted to the store.
+type OptionsSpec struct {
+	Coverage   float64 `json:"coverage,omitempty"`
+	Budget     int     `json:"budget,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
+	RelGap     float64 `json:"rel_gap,omitempty"`
+	SolverSeed int64   `json:"solver_seed,omitempty"`
+	MaxNodes   int     `json:"max_nodes,omitempty"`
+	TimeoutMS  int64   `json:"timeout_ms,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve: one problem, one solver.
+type SolveRequest struct {
+	// Solver is a registry name ("tap/exact", "beacon/ilp",
+	// "sample/ppme", …); default "tap/exact".
+	Solver string `json:"solver,omitempty"`
+	ProblemSpec
+	OptionsSpec
+}
+
+// BatchRequest is the body of POST /v1/batch: many problems, one
+// solver, shared options. The batch rides Runner.SolveBatch, so
+// identical problems across the batch (and across requests) are solved
+// once and served from the cache.
+type BatchRequest struct {
+	Solver   string        `json:"solver,omitempty"`
+	Problems []ProblemSpec `json:"problems"`
+	OptionsSpec
+}
+
+// SolveResponse is the body of a successful /v1/solve reply.
+type SolveResponse struct {
+	Result *repro.Result `json:"result"`
+}
+
+// BatchResponse is the body of a successful /v1/batch reply; results
+// are in problem order.
+type BatchResponse struct {
+	Results []*repro.Result `json:"results"`
+}
+
+// FamilyInfo describes one registered scenario family in /v1/families.
+type FamilyInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	MinSize     int    `json:"min_size"`
+}
+
+// FamiliesResponse is the body of GET /v1/families.
+type FamiliesResponse struct {
+	Families []FamilyInfo `json:"families"`
+	Solvers  []string     `json:"solvers"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// build turns the spec into the problem value the named solver
+// consumes: *Instance for tap/*, *MultiInstance for sample/*, ProbeSet
+// for beacon/* (probes over every router as a candidate).
+func (p ProblemSpec) build(solver string) (repro.Problem, error) {
+	var pop *topology.POP
+	var demands []traffic.Demand
+	switch {
+	case p.Family != "" && p.Topology != "":
+		return nil, fmt.Errorf("problem has both a family and an inline topology; use one")
+	case p.Family != "":
+		sc, err := scenario.Generate(p.Family, p.Size, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pop, demands = sc.POP, sc.Demands
+	case p.Topology != "":
+		var err error
+		pop, err = topology.Read(strings.NewReader(p.Topology))
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range p.Demands {
+			if d.Src < 0 || d.Src >= pop.G.NumNodes() || d.Dst < 0 || d.Dst >= pop.G.NumNodes() {
+				return nil, fmt.Errorf("demand %d endpoints %d-%d outside the %d-node topology", i, d.Src, d.Dst, pop.G.NumNodes())
+			}
+			demands = append(demands, traffic.Demand{
+				Src: repro.NodeID(d.Src), Dst: repro.NodeID(d.Dst), Volume: d.Volume,
+			})
+		}
+	default:
+		return nil, fmt.Errorf("problem needs either a scenario family or an inline topology")
+	}
+
+	switch {
+	case strings.HasPrefix(solver, "beacon/"):
+		cands := make([]repro.NodeID, 0, pop.Routers())
+		cands = append(cands, pop.Backbone...)
+		cands = append(cands, pop.Access...)
+		return active.ComputeProbes(pop.G, cands)
+	case strings.HasPrefix(solver, "sample/"):
+		if len(demands) == 0 {
+			return nil, fmt.Errorf("inline topology needs a non-empty demand list")
+		}
+		mr := p.MaxRoutes
+		if mr <= 0 {
+			mr = 2
+		}
+		return traffic.RouteMulti(pop, demands, mr)
+	default:
+		if len(demands) == 0 {
+			return nil, fmt.Errorf("inline topology needs a non-empty demand list")
+		}
+		return traffic.Route(pop, demands)
+	}
+}
+
+// options translates the spec into facade options, capping the
+// client's deadline at maxTimeout (0 = no cap).
+func (o OptionsSpec) options(maxTimeout time.Duration) ([]repro.Option, error) {
+	var opts []repro.Option
+	if o.Coverage != 0 {
+		if o.Coverage < 0 || o.Coverage > 1 {
+			return nil, fmt.Errorf("coverage %g outside (0,1]", o.Coverage)
+		}
+		opts = append(opts, repro.WithCoverage(o.Coverage))
+	}
+	if o.Budget > 0 {
+		opts = append(opts, repro.WithBudget(o.Budget))
+	}
+	if o.Gap > 0 {
+		opts = append(opts, repro.WithGap(o.Gap))
+	}
+	if o.RelGap > 0 {
+		opts = append(opts, repro.WithRelGap(o.RelGap))
+	}
+	if o.SolverSeed != 0 {
+		opts = append(opts, repro.WithSeed(o.SolverSeed))
+	}
+	if o.MaxNodes > 0 {
+		opts = append(opts, repro.WithMaxNodes(o.MaxNodes))
+	}
+	if o.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms %d is negative", o.TimeoutMS)
+	}
+	if o.TimeoutMS > 0 {
+		d := time.Duration(o.TimeoutMS) * time.Millisecond
+		if maxTimeout > 0 && d > maxTimeout {
+			d = maxTimeout
+		}
+		opts = append(opts, repro.WithTimeout(d))
+	}
+	return opts, nil
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is placementd's instrumentation: a handful of counters and
+// one latency histogram, exported in the Prometheus text exposition
+// format by Server's /metrics handler. No client library — the format
+// is a few lines of text, and the stdlib-only constraint of the
+// repository extends to the daemon.
+type metrics struct {
+	started time.Time
+
+	mu       sync.Mutex
+	requests map[requestKey]*atomic.Int64
+
+	solve solveHistogram
+}
+
+// requestKey labels the requests_total counter.
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), requests: make(map[requestKey]*atomic.Int64)}
+}
+
+// request counts one finished HTTP request by endpoint and status.
+func (m *metrics) request(endpoint string, code int) {
+	k := requestKey{endpoint, code}
+	m.mu.Lock()
+	c, ok := m.requests[k]
+	if !ok {
+		c = new(atomic.Int64)
+		m.requests[k] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// solveBuckets are the histogram's upper bounds in seconds: sub-ms
+// cache hits through multi-second exact solves.
+var solveBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// solveHistogram is a fixed-bucket latency histogram with atomic
+// counters (one extra bucket for +Inf) and a CAS-accumulated sum.
+type solveHistogram struct {
+	counts  [len(solveBuckets) + 1]atomic.Int64
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+// observe records one solve duration.
+func (h *solveHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(solveBuckets[:], s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + s)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// gauge is one scrape-time sampled value.
+type gauge struct {
+	name, help string
+	value      func() float64
+}
+
+// write renders the full exposition. Scrape-time values (queue depth,
+// cache counters, aggregated solver effort) come in through gauges and
+// counters so the metrics block stays decoupled from Server.
+func (m *metrics) write(w io.Writer, version string, counters []gauge, gauges []gauge) {
+	fmt.Fprintf(w, "# HELP placementd_build_info Build identity of the running daemon.\n")
+	fmt.Fprintf(w, "# TYPE placementd_build_info gauge\n")
+	fmt.Fprintf(w, "placementd_build_info{version=%q} 1\n", version)
+
+	fmt.Fprintf(w, "# HELP placementd_uptime_seconds Seconds since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE placementd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "placementd_uptime_seconds %g\n", time.Since(m.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP placementd_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE placementd_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		m.mu.Lock()
+		c := m.requests[k]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "placementd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, c.Load())
+	}
+
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", c.name, c.help, c.name, c.name, c.value())
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.value())
+	}
+
+	fmt.Fprintf(w, "# HELP placementd_solve_duration_seconds Wall-clock latency of solve and batch requests (admission to response).\n")
+	fmt.Fprintf(w, "# TYPE placementd_solve_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, le := range solveBuckets {
+		cum += m.solve.counts[i].Load()
+		fmt.Fprintf(w, "placementd_solve_duration_seconds_bucket{le=%q} %d\n", formatFloat(le), cum)
+	}
+	cum += m.solve.counts[len(solveBuckets)].Load()
+	fmt.Fprintf(w, "placementd_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "placementd_solve_duration_seconds_sum %g\n", math.Float64frombits(m.solve.sumBits.Load()))
+	fmt.Fprintf(w, "placementd_solve_duration_seconds_count %d\n", m.solve.count.Load())
+}
+
+// formatFloat renders a bucket bound the way Prometheus conventions
+// expect ("0.005", not "5e-03").
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,322 @@
+// Package service is placement-as-a-service: the long-lived HTTP
+// subsystem behind cmd/placementd. Clients POST a problem — a
+// scenario-family triple or an inline topology plus traffic matrix —
+// to /v1/solve (one problem) or /v1/batch (many problems, solved once
+// per distinct instance on the batch engine), and get placements back
+// as JSON. The server fronts one shared repro.Runner, so every
+// request benefits from the engine's single-flight memo cache; built
+// with a cache directory, the content-addressed result store persists
+// across restarts and the first request after a restart is already
+// warm.
+//
+// Admission control bounds the damage of overload: MaxInFlight solves
+// run concurrently, MaxQueue requests wait, everything beyond is shed
+// with 429 and a Retry-After. Per-request deadlines (timeout_ms) map
+// to repro.WithTimeout, capped at MaxTimeout. /metrics exports
+// Prometheus text (latency histogram, solver effort counters, queue
+// depth, cache hit rate), /healthz answers liveness probes, and
+// /v1/families lists the scenario registry.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/buildinfo"
+	"repro/internal/scenario"
+)
+
+// Config parameterizes New. The zero value is a usable in-memory
+// server with defaults scaled to the host.
+type Config struct {
+	// CacheDir, when non-empty, persists the result store there
+	// (created if missing) so restarts are warm.
+	CacheDir string
+	// Workers bounds the runner's concurrent solves; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds concurrently admitted requests; <= 0 means
+	// 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an in-flight slot; <= 0
+	// means 128. Requests beyond MaxInFlight+MaxQueue are shed with
+	// 429.
+	MaxQueue int
+	// MaxTimeout caps client-requested solve deadlines; <= 0 means
+	// 1 minute.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies; <= 0 means 16 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Server is the placement service. Build it with New, mount
+// Handler() on an http.Server, and let http.Server.Shutdown drain it:
+// in-flight solves finish (they are not canceled by listener close),
+// queued requests complete, and the persistent store is already
+// written through, so SIGTERM loses nothing.
+type Server struct {
+	cfg     Config
+	runner  *repro.Runner
+	adm     *admission
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds the service. A configured cache directory is created
+// eagerly so a misconfigured path fails at startup, not at the first
+// solve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ropts := []repro.RunnerOption{repro.WithWorkers(cfg.Workers)}
+	if cfg.CacheDir != "" {
+		if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+		ropts = append(ropts, repro.WithCacheDir(cfg.CacheDir))
+	}
+	s := &Server{
+		cfg:     cfg,
+		runner:  repro.NewRunner(ropts...),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/families", s.handleFamilies)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Runner exposes the shared batch runner (the load driver's tests and
+// cmd/placementd's shutdown logging read its cache counters).
+func (s *Server) Runner() *repro.Runner { return s.runner }
+
+// decode parses one JSON body strictly: unknown fields are rejected so
+// a typoed option fails loudly instead of silently solving with
+// defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, endpoint string, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/solve"
+	var req SolveRequest
+	if !s.decode(w, r, endpoint, &req) {
+		return
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = repro.SolverTapExact
+	}
+	problem, err := req.ProblemSpec.build(solver)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := req.OptionsSpec.options(s.cfg.MaxTimeout)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		return
+	}
+	results, ok := s.solve(w, r, endpoint, solver, []repro.Problem{problem}, opts)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, SolveResponse{Result: results[0]})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "/v1/batch"
+	var req BatchRequest
+	if !s.decode(w, r, endpoint, &req) {
+		return
+	}
+	if len(req.Problems) == 0 {
+		s.writeError(w, endpoint, http.StatusBadRequest, "batch has no problems")
+		return
+	}
+	solver := req.Solver
+	if solver == "" {
+		solver = repro.SolverTapExact
+	}
+	problems := make([]repro.Problem, len(req.Problems))
+	for i, spec := range req.Problems {
+		p, err := spec.build(solver)
+		if err != nil {
+			s.writeError(w, endpoint, http.StatusBadRequest, fmt.Sprintf("problem %d: %v", i, err))
+			return
+		}
+		problems[i] = p
+	}
+	opts, err := req.OptionsSpec.options(s.cfg.MaxTimeout)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err.Error())
+		return
+	}
+	results, ok := s.solve(w, r, endpoint, solver, problems, opts)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, BatchResponse{Results: results})
+}
+
+// solve runs one admitted batch on the shared runner. It owns the
+// admission gate and the error-to-status mapping; on a false return
+// the response has already been written.
+func (s *Server) solve(w http.ResponseWriter, r *http.Request, endpoint, solver string, problems []repro.Problem, opts []repro.Option) ([]*repro.Result, bool) {
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, endpoint, http.StatusTooManyRequests,
+				fmt.Sprintf("at capacity (%d in flight, %d queued); retry", s.cfg.MaxInFlight, s.cfg.MaxQueue))
+		} else {
+			// The client hung up while queued; nobody reads the reply.
+			s.writeError(w, endpoint, statusClientClosedRequest, "client canceled while queued")
+		}
+		return nil, false
+	}
+	defer release()
+	start := time.Now()
+	results, err := s.runner.SolveBatch(r.Context(), solver, problems, opts...)
+	s.metrics.solve.observe(time.Since(start))
+	if err != nil {
+		// Unknown solver names and problem/solver kind mismatches are
+		// client errors; anything else is the solver's own failure.
+		code := http.StatusInternalServerError
+		if _, lookupErr := repro.LookupSolver(solver); lookupErr != nil {
+			code = http.StatusBadRequest
+		}
+		s.writeError(w, endpoint, code, err.Error())
+		return nil, false
+	}
+	return results, true
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 — the request
+// died with the client, and the status only exists for the metrics.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleFamilies(w http.ResponseWriter, _ *http.Request) {
+	const endpoint = "/v1/families"
+	resp := FamiliesResponse{Solvers: repro.Solvers()}
+	for _, name := range scenario.Families() {
+		f, err := scenario.Lookup(name)
+		if err != nil {
+			continue
+		}
+		resp.Families = append(resp.Families, FamilyInfo{
+			Name: f.Name, Description: f.Description, MinSize: f.MinSize,
+		})
+	}
+	s.writeJSON(w, endpoint, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.request("/healthz", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.metrics.request("/metrics", http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	hits, misses := s.runner.CacheCounts()
+	st := s.runner.BatchStats()
+	counters := []gauge{
+		{"placementd_requests_shed_total", "Requests rejected at the admission gate with 429.",
+			func() float64 { return float64(s.adm.Shed()) }},
+		{"placementd_cache_hits_total", "Solves served from the result cache.",
+			func() float64 { return float64(hits) }},
+		{"placementd_cache_misses_total", "Solves computed fresh.",
+			func() float64 { return float64(misses) }},
+		{"placementd_solver_nodes_total", "Branch-and-bound nodes explored across all solves.",
+			func() float64 { return float64(st.Nodes) }},
+		{"placementd_solver_pivots_total", "Simplex pivots across all solves.",
+			func() float64 { return float64(st.Pivots) }},
+		{"placementd_solver_cuts_total", "Root cutting planes added across all solves.",
+			func() float64 { return float64(st.CutsAdded) }},
+		{"placementd_solver_warm_starts_total", "Warm-started branch-and-bound nodes across all solves.",
+			func() float64 { return float64(st.WarmStarts) }},
+		{"placementd_solver_vars_fixed_total", "Variables fixed by reduced-cost fixing across all solves.",
+			func() float64 { return float64(st.VarsFixed) }},
+	}
+	gauges := []gauge{
+		{"placementd_inflight", "Requests currently holding an in-flight slot.",
+			func() float64 { return float64(s.adm.InFlight()) }},
+		{"placementd_queue_depth", "Requests waiting for an in-flight slot.",
+			func() float64 { return float64(s.adm.QueueDepth()) }},
+		{"placementd_workers", "Solver worker pool size.",
+			func() float64 { return float64(s.runner.Workers()) }},
+		{"placementd_cache_hit_ratio", "Hits / (hits + misses) since start; 0 when idle.",
+			func() float64 {
+				if hits+misses == 0 {
+					return 0
+				}
+				return float64(hits) / float64(hits+misses)
+			}},
+	}
+	s.metrics.write(w, buildinfo.Version(), counters, gauges)
+}
+
+// writeJSON encodes one response body and counts the request. Bodies
+// are marshaled before any byte is written, so a response is either a
+// complete JSON document or an error status — never a torn body.
+func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusInternalServerError, fmt.Sprintf("encode response: %v", err))
+		return
+	}
+	s.metrics.request(endpoint, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// writeError sends the uniform JSON error body and counts the request.
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, code int, msg string) {
+	s.metrics.request(endpoint, code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(errorResponse{Error: msg})
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/engine"
+)
+
+// Persistent result store: a Runner built WithCacheDir keeps its memo
+// cache content-addressed on disk — one JSON file per canonical
+// SHA-256 instance key (the same keys engine.Key computes for the
+// in-memory cache) — so a restarted process is warm from its first
+// request. The store is written through the cache's OnStore hook at
+// solve time (crash-safe: an entry is on disk before any waiter sees
+// it) and loaded through Seed at construction. Files are written
+// atomically (temp + rename), and unreadable or corrupt entries are
+// skipped on load: the store is an accelerator, never a correctness
+// dependency.
+
+// cacheFileExt is the extension of persisted result entries.
+const cacheFileExt = ".json"
+
+// loadCacheDir seeds cache with every decodable entry under dir.
+// Corrupt or foreign files are skipped; a missing dir loads nothing.
+func loadCacheDir(cache *engine.Cache, dir string) (loaded int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, cacheFileExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, cacheFileExt)
+		if !validCacheKey(key) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var res Result
+		if err := json.Unmarshal(data, &res); err != nil {
+			continue
+		}
+		if cache.Seed(key, &res) {
+			loaded++
+		}
+	}
+	return loaded
+}
+
+// saveCacheEntry writes one result under dir, atomically. Persistence
+// is best-effort: on any error the entry simply stays memory-only.
+func saveCacheEntry(dir, key string, value any) {
+	res, ok := value.(*Result)
+	if !ok || !validCacheKey(key) {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), filepath.Join(dir, key+cacheFileExt))
+}
+
+// validCacheKey reports whether key looks like a canonical engine key
+// (lowercase hex SHA-256) — the guard that keeps the store from ever
+// writing or reading a path-traversing filename.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// attachCacheDir wires the persistent store to a fresh cache: load
+// first (warm restarts), then install the write-through save hook.
+func attachCacheDir(cache *engine.Cache, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repro: cache dir: %w", err)
+	}
+	loadCacheDir(cache, dir)
+	cache.SetOnStore(func(key string, value any) { saveCacheEntry(dir, key, value) })
+	return nil
+}

@@ -188,6 +188,10 @@ func tapResult(pl TapPlacement) *Result {
 		Stats:     solveStats(pl.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
+	// Normalize the embedded counters to the same finite sentinel, so
+	// a Result is always JSON-marshalable (the service and the
+	// persistent cache serialize it; ±Inf has no JSON encoding).
+	pl.Stats.Bound = res.Bound
 	return res
 }
 
@@ -200,6 +204,7 @@ func beaconResult(pl BeaconPlacement) *Result {
 		Stats:     solveStats(pl.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
+	pl.Stats.Bound = res.Bound
 	return res
 }
 
@@ -212,6 +217,7 @@ func samplingResult(sol *SamplingSolution) *Result {
 		Stats:     solveStats(sol.Stats),
 	}
 	res.Gap = gapOf(res.Objective, res.Bound, res.Optimal)
+	sol.Stats.Bound = res.Bound
 	return res
 }
 
