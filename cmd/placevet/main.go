@@ -1,0 +1,99 @@
+// Command placevet is the repro's own vet: a multichecker over the
+// five house-rule analyzers in internal/analysis that keep figures,
+// parallel merges, and cached service responses byte-identical
+// (DESIGN.md §8).
+//
+// Two modes, decided by the argument shape:
+//
+//   - Package patterns (the human/CI form):
+//
+//     go run ./cmd/placevet ./...
+//
+//     re-executes itself through `go vet -vettool=<self> <patterns>`,
+//     so package loading, build caching, and fact plumbing are the go
+//     command's — placevet needs no go/packages dependency and
+//     incremental runs are as fast as go vet's.
+//
+//   - The unitchecker protocol (-V=full, -flags, foo.cfg), spoken when
+//     the go command calls back into the binary for each package unit.
+//
+// Analyzer flags pass through: e.g.
+//
+//	go run ./cmd/placevet -maporder.packages='*' ./...
+//
+// Findings are suppressed one at a time with
+// `//placevet:ignore <analyzer> -- reason` waivers; see the package
+// docs under internal/analysis.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis/atomicwrite"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/floatcmp"
+	"repro/internal/analysis/maporder"
+	"repro/internal/buildinfo"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		if a == "-version" || a == "--version" {
+			buildinfo.Fprint(os.Stdout, "placevet")
+			return
+		}
+	}
+
+	if protocol(args) {
+		unitchecker.Main(
+			detrand.Analyzer,
+			maporder.Analyzer,
+			floatcmp.Analyzer,
+			ctxloop.Analyzer,
+			atomicwrite.Analyzer,
+		) // never returns
+	}
+
+	os.Exit(govet(args))
+}
+
+// protocol reports whether the arguments are a unitchecker-protocol
+// callback from the go command (or an explicit help request) rather
+// than a human invocation with package patterns.
+func protocol(args []string) bool {
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") ||
+			a == "-flags" || strings.HasPrefix(a, "-V=") ||
+			a == "help" {
+			return true
+		}
+	}
+	return false
+}
+
+// govet re-runs the given arguments through `go vet -vettool=<self>`
+// and returns the exit code to propagate.
+func govet(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placevet: cannot locate own binary: %v\n", err)
+		return 2
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "placevet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -100,6 +100,7 @@ func run(args []string, out, progress io.Writer) error {
 	if wants("fig6") {
 		var dot io.Writer
 		if *dotFile != "" {
+			//placevet:ignore atomicwrite -- user-named figure artifact, not a cache entry; a torn write is visible, not silently served
 			f, err := os.Create(*dotFile)
 			if err != nil {
 				return err
@@ -301,5 +302,6 @@ func writeBenchJSON(ctx context.Context, path, figure string, seeds, parallel in
 	if err != nil {
 		return err
 	}
+	//placevet:ignore atomicwrite -- bench report for humans/CI diffing, never reloaded as a cache entry
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

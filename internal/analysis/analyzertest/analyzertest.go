@@ -1,0 +1,189 @@
+// Package analyzertest is the repro's stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which is not vendored
+// with the Go toolchain (it depends on go/packages). It loads one
+// testdata package from a directory, type-checks it against the
+// standard library via the source importer (offline: GOROOT source is
+// always present), runs an analyzer and its Requires closure, and
+// matches the diagnostics against analysistest-style expectations:
+//
+//	m[k] = v // want `regexp`
+//
+// A `// want` comment names, in order, one regexp (back- or
+// double-quoted) per diagnostic expected on that line. Lines without a
+// want comment must produce no diagnostics.
+package analyzertest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diagnostic is one reported finding, flattened for assertions.
+type Diagnostic struct {
+	File    string // basename of the file
+	Line    int
+	Message string
+}
+
+// Run loads the package rooted at dir, presents it under the import
+// path pkgpath (gated analyzers match on path suffixes, so tests pick
+// paths like "example.com/internal/lp"), runs a, and matches
+// diagnostics against the // want comments in the sources.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgpath string) {
+	t.Helper()
+	diags, fset, files := load(t, a, dir, pkgpath)
+	check(t, fset, files, diags)
+}
+
+// RunCollect is Run without want-comment matching: it returns the raw
+// diagnostics for custom assertions (e.g. malformed-waiver reporting,
+// whose position is inside a comment where no second comment can sit).
+func RunCollect(t *testing.T, a *analysis.Analyzer, dir, pkgpath string) []Diagnostic {
+	t.Helper()
+	diags, _, _ := load(t, a, dir, pkgpath)
+	return diags
+}
+
+func load(t *testing.T, a *analysis.Analyzer, dir, pkgpath string) ([]Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no Go files under %s: %v", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", dir, err)
+	}
+
+	var diags []Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(an *analysis.Analyzer, report func(analysis.Diagnostic)) any
+	exec = func(an *analysis.Analyzer, report func(analysis.Diagnostic)) any {
+		if r, ok := results[an]; ok {
+			return r
+		}
+		resultOf := make(map[*analysis.Analyzer]any)
+		for _, req := range an.Requires {
+			resultOf[req] = exec(req, func(analysis.Diagnostic) {})
+		}
+		pass := &analysis.Pass{
+			Analyzer:   an,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report:     report,
+			ReadFile:   os.ReadFile,
+		}
+		r, err := an.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", an.Name, err)
+		}
+		results[an] = r
+		return r
+	}
+	exec(a, func(d analysis.Diagnostic) {
+		p := fset.Position(d.Pos)
+		diags = append(diags, Diagnostic{
+			File:    filepath.Base(p.Filename),
+			Line:    p.Line,
+			Message: d.Message,
+		})
+	})
+	return diags, fset, files
+}
+
+// wantRx extracts the quoted regexps of a // want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// check matches diagnostics against // want expectations, line by line.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := key{filepath.Base(p.Filename), p.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", k.file, k.line, pat, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	matched := make(map[key]int)
+	for _, d := range diags {
+		k := key{d.File, d.Line}
+		ws := wants[k]
+		i := matched[k]
+		if i >= len(ws) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.File, d.Line, d.Message)
+			continue
+		}
+		if !ws[i].MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", d.File, d.Line, d.Message, ws[i])
+		}
+		matched[k]++
+	}
+	for k, ws := range wants {
+		if got := matched[k]; got < len(ws) {
+			t.Errorf("%s:%d: %d expected diagnostic(s) not reported (next want: %q)", k.file, k.line, len(ws)-got, ws[got])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package atomicwrite defines the placevet analyzer that protects the
+// persistent result store's crash-safety. PR 6 made repro.WithCacheDir
+// content-address every result to <sha256>.json written via temp +
+// rename, so a crash mid-write can never leave a half-written entry
+// under a valid cache key (corrupt entries would be silently skipped on
+// reload — losing warmth — or worse, a torn-but-valid JSON would serve
+// a wrong cached placement). A direct os.WriteFile/os.Create in the
+// store-owning packages bypasses that idiom.
+package atomicwrite
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `require temp+rename writes in the cache-store packages
+
+Flags calls to os.WriteFile and os.Create in the packages named by
+-packages (default: the repro root package and internal/service, the
+owners of the persistent result cache) unless the enclosing function
+also calls os.Rename — the signature of the sanctioned
+os.CreateTemp + write + os.Rename idiom from repro.WithCacheDir.
+_test.go files are exempt.`
+
+// Analyzer is the atomicwrite analyzer.
+const name = "atomicwrite"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// packages gates the analyzer to the owners of the persistent store.
+var packages = placevet.PkgList{Suffixes: []string{
+	"repro",
+	"internal/service",
+}}
+
+func init() {
+	Analyzer.Flags.Var(&packages, "packages",
+		"comma-separated package path suffixes to check (\"*\" for all)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	if !placevet.PkgMatch(pass.Pkg.Path(), packages.Suffixes) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil || placevet.InTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		// The idiom test is per-function: a function that renames is
+		// assumed to be (part of) an atomic writer, so its Create of
+		// the temp file is sanctioned.
+		if callsRename(pass, body) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // judged by its own visit
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if placevet.IsPkgFunc(pass.TypesInfo, call.Fun, "os", "WriteFile", "Create") {
+				fn := placevet.PkgFuncOf(pass.TypesInfo, call.Fun)
+				waivers.Report(pass, call.Pos(), name,
+					"os.%s without os.Rename in the same function bypasses the temp+rename idiom of the persistent store; write a temp file and rename it into place",
+					fn.Name())
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// callsRename reports whether the function body contains a call to
+// os.Rename (directly, not in a nested function literal — a literal is
+// its own atomic-writer candidate).
+func callsRename(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok &&
+			placevet.IsPkgFunc(pass.TypesInfo, call.Fun, "os", "Rename") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/atomicwrite"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	// "internal/service" is on the default gate list.
+	analyzertest.Run(t, atomicwrite.Analyzer, "testdata/src/atomicwrite", "example.com/internal/service")
+}
+
+// The same sources under an ungated import path produce no findings.
+func TestAtomicwriteGating(t *testing.T) {
+	diags := analyzertest.RunCollect(t, atomicwrite.Analyzer, "testdata/src/atomicwrite", "example.com/internal/topology")
+	if len(diags) != 0 {
+		t.Errorf("gated analyzer reported outside its packages: %+v", diags)
+	}
+}

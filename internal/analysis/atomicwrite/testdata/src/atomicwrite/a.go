@@ -1,0 +1,57 @@
+package atomicwritetest
+
+import "os"
+
+// flagged: a direct write can be torn by a crash.
+func dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile without os\.Rename in the same function bypasses the temp\+rename idiom`
+}
+
+// flagged: ditto for Create.
+func create(path string) error {
+	f, err := os.Create(path) // want `os\.Create without os\.Rename in the same function`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// sanctioned: the temp+rename idiom from repro.WithCacheDir.
+func atomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), name)
+}
+
+// sanctioned: os.Create of a temp path renamed into place later in the
+// same function.
+func atomicCreate(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// waived.
+func debugDump(path string, data []byte) error {
+	//placevet:ignore atomicwrite -- operator debug dump, never read back as a cache entry
+	return os.WriteFile(path, data, 0o644)
+}

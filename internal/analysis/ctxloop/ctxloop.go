@@ -1,0 +1,154 @@
+// Package ctxloop defines the placevet analyzer that enforces the
+// cancellation contract from PR 1: every solver accepts a
+// context.Context and, on cancellation, returns its best incumbent —
+// which is only possible if the node/pivot loops actually look at the
+// context. A function that takes a ctx and then spins an unbounded loop
+// without consulting it silently converts "cancel" into "hang".
+package ctxloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `require unbounded loops in ctx-taking functions to honor the ctx
+
+Flags for-loops without a bounded three-clause header (for {} and
+for cond {}) inside functions that take a context.Context, when the
+loop body neither checks ctx.Err()/ctx.Done()/ctx.Deadline() nor passes
+the context on to a callee that can. Range loops and counted loops are
+considered bounded. _test.go files are exempt.`
+
+// Analyzer is the ctxloop analyzer.
+const name = "ctxloop"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = fn.Type, fn.Body
+		case *ast.FuncLit:
+			ftype, body = fn.Type, fn.Body
+		}
+		if body == nil || placevet.InTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		if !takesContext(pass.TypesInfo, ftype) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // a literal is judged by its own visit
+			}
+			fs, ok := n.(*ast.ForStmt)
+			if !ok || !unbounded(fs) {
+				return true
+			}
+			// The condition is re-evaluated every iteration, so a
+			// `for step(ctx) { ... }` work loop delegates its check there.
+			if fs.Cond != nil && honorsContext(pass.TypesInfo, fs.Cond) {
+				return true
+			}
+			if honorsContext(pass.TypesInfo, fs.Body) {
+				return true
+			}
+			waivers.Report(pass, fs.Pos(), name,
+				"unbounded loop in a context-taking function never checks ctx.Err()/ctx.Done(); cancellation cannot return an incumbent from here")
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// takesContext reports whether the function type has a parameter of
+// type context.Context.
+func takesContext(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// unbounded reports whether the for statement has no structural bound:
+// `for {}` or a condition-only `for cond {}` (the classic node/pivot
+// work loop). A three-clause `for i := 0; i < n; i++ {}` is treated as
+// bounded.
+func unbounded(fs *ast.ForStmt) bool {
+	if fs.Cond == nil {
+		return true
+	}
+	return fs.Init == nil && fs.Post == nil
+}
+
+// honorsContext reports whether the loop body (or condition) consults
+// a context.Context: a method call Err/Done/Deadline/Value on a
+// ctx-typed receiver, or any call that passes a ctx-typed argument
+// along (delegating the check to the callee, whose own loops this
+// analyzer polices in turn).
+func honorsContext(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if tv, ok := info.Types[sel.X]; ok && isContext(tv.Type) {
+				switch sel.Sel.Name {
+				case "Err", "Done", "Deadline", "Value":
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if tv, ok := info.Types[arg]; ok && isContext(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analyzertest.Run(t, ctxloop.Analyzer, "testdata/src/ctxloop", "example.com/ctxlooptest")
+}

@@ -1,0 +1,78 @@
+package ctxlooptest
+
+import "context"
+
+// flagged: the node loop can spin past a cancel forever.
+func spin(ctx context.Context, work func() bool) {
+	for work() { // want `unbounded loop in a context-taking function never checks ctx\.Err`
+	}
+}
+
+// flagged: `for {}` without a ctx check inside.
+func forever(ctx context.Context, step func()) {
+	for { // want `unbounded loop in a context-taking function`
+		step()
+	}
+}
+
+// sanctioned: checks ctx.Err each iteration (the solver contract —
+// return the incumbent on cancellation).
+func nodes(ctx context.Context, work func() bool) error {
+	for work() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanctioned: select on ctx.Done.
+func pump(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+// sanctioned: delegates the ctx to the callee each iteration; the
+// callee's own loops are policed in turn.
+func delegate(ctx context.Context, step func(context.Context) bool) {
+	for step(ctx) {
+	}
+}
+
+// sanctioned: three-clause counted loops are bounded.
+func counted(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// sanctioned: range loops are bounded.
+func ranged(ctx context.Context, xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// no ctx parameter: not this analyzer's contract.
+func noCtx(work func() bool) {
+	for work() {
+	}
+}
+
+// waived.
+func waived(ctx context.Context, work func() bool) {
+	//placevet:ignore ctxloop -- drains an already-closed queue; bounded in practice
+	for work() {
+	}
+}

@@ -1,0 +1,142 @@
+// Package detrand defines the placevet analyzer that bans ambient
+// randomness. Every random draw in the repro must come from a seeded
+// *rand.Rand threaded by argument (the PR 5 audit rule): the global
+// math/rand source is process-wide mutable state, so a draw from it
+// depends on everything else the process did first — the exact property
+// that makes figures and cached responses stop being byte-identical.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `forbid the ambient math/rand source outside tests
+
+Flags uses of math/rand (and math/rand/v2) package-level functions that
+draw from the global source (rand.Intn, rand.Float64, rand.Shuffle,
+rand.Seed, ...) and package-level variables holding rand state
+(*rand.Rand, rand.Source). Constructors (rand.New, rand.NewSource,
+rand.NewZipf, rand.NewPCG, rand.NewChaCha8) are allowed: a seeded
+*rand.Rand threaded by argument is the only sanctioned form. _test.go
+files are exempt.`
+
+// Analyzer is the detrand analyzer.
+const name = "detrand"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// randPkgs are the package paths whose ambient state is banned.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors are the package-level functions of math/rand that build
+// explicit generator state instead of drawing from the global source.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes the *rand.Rand it will draw from
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.SelectorExpr)(nil),
+		(*ast.GenDecl)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if placevet.InTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkUse(pass, waivers, n)
+		case *ast.GenDecl:
+			checkVarDecl(pass, waivers, n)
+		}
+	})
+	return nil, nil
+}
+
+// checkUse flags any use (call or function value) of a math/rand
+// package-level function that is not an explicit-state constructor.
+func checkUse(pass *analysis.Pass, waivers *placevet.Waivers, sel *ast.SelectorExpr) {
+	fn := placevet.PkgFuncOf(pass.TypesInfo, sel)
+	if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+		return
+	}
+	if constructors[fn.Name()] {
+		return
+	}
+	waivers.Report(pass, sel.Pos(), name,
+		"%s.%s draws from the ambient math/rand source; thread a seeded *rand.Rand by argument instead",
+		fn.Pkg().Name(), fn.Name())
+}
+
+// checkVarDecl flags package-level variables whose type carries rand
+// state: *rand.Rand, rand.Rand, or anything implementing rand.Source
+// declared as such. Local variables are fine — they are necessarily fed
+// from an argument or a constructor the other half of this analyzer
+// polices.
+func checkVarDecl(pass *analysis.Pass, waivers *placevet.Waivers, decl *ast.GenDecl) {
+	if decl.Tok.String() != "var" {
+		return
+	}
+	// Only package-level declarations: a GenDecl whose parent is the
+	// file itself. The inspector visits declarations inside function
+	// bodies too (as DeclStmt children), so check the scope instead:
+	// package-level names are found in the package scope.
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, id := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+			if !ok || obj.Parent() != pass.Pkg.Scope() {
+				continue // not package-level
+			}
+			if tn := randStateType(obj.Type()); tn != "" {
+				waivers.Report(pass, id.Pos(), name,
+					"package-level %s var %q is shared rand state; thread a seeded *rand.Rand by argument instead",
+					tn, id.Name)
+			}
+		}
+	}
+}
+
+// randStateType returns a printable name when t is (a pointer to) a
+// named type of math/rand — *rand.Rand, rand.Rand, rand.Source, ... —
+// and "" otherwise.
+func randStateType(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

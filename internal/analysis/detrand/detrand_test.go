@@ -1,0 +1,36 @@
+package detrand_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analyzertest.Run(t, detrand.Analyzer, "testdata/src/detrand", "example.com/detrandtest")
+}
+
+// A waiver without a " -- reason" is itself a finding and does not
+// suppress the original one. (Tested via RunCollect: the malformed
+// directive's diagnostic lands inside a comment, where a // want
+// expectation cannot sit.)
+func TestDetrandMalformedWaiver(t *testing.T) {
+	diags := analyzertest.RunCollect(t, detrand.Analyzer, "testdata/src/malformed", "example.com/malformed")
+	var missingReason, stillFlagged bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "missing a reason") {
+			missingReason = true
+		}
+		if strings.Contains(d.Message, "ambient math/rand source") {
+			stillFlagged = true
+		}
+	}
+	if !missingReason {
+		t.Errorf("malformed waiver not reported; diags: %+v", diags)
+	}
+	if !stillFlagged {
+		t.Errorf("malformed waiver suppressed the finding; diags: %+v", diags)
+	}
+}

@@ -1,0 +1,40 @@
+package detrandtest
+
+import "math/rand"
+
+var global = rand.New(rand.NewSource(1)) // want `package-level \*?rand\.Rand var "global" is shared rand state`
+
+var source rand.Source // want `package-level rand\.Source var "source" is shared rand state`
+
+func draw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the ambient math/rand source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the ambient`
+}
+
+func indirect() func() float64 {
+	return rand.Float64 // want `rand\.Float64 draws from the ambient`
+}
+
+// sanctioned: explicit state threaded by argument.
+func sanctioned(r *rand.Rand) int {
+	var local *rand.Rand // local rand state is fine: it must be fed from an arg or constructor
+	local = r
+	return local.Intn(10)
+}
+
+// sanctioned: constructors build explicit state.
+func construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func waived() int {
+	//placevet:ignore detrand -- harness demo: exploratory draw, not on a result path
+	return rand.Int()
+}
+
+func waivedTrailing() int {
+	return rand.Int() //placevet:ignore detrand -- harness demo: trailing-form waiver
+}

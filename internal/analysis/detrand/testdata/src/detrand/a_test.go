@@ -1,0 +1,9 @@
+package detrandtest
+
+import "math/rand"
+
+// _test.go files are exempt: fuzz corpora and test fixtures may use the
+// ambient source.
+func fixture() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,8 @@
+package malformed
+
+import "math/rand"
+
+func draw() int {
+	//placevet:ignore detrand
+	return rand.Int()
+}

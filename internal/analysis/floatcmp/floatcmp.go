@@ -1,0 +1,95 @@
+// Package floatcmp defines the placevet analyzer that polices exact
+// floating-point comparison in the numerical packages. PR 2 hoisted
+// every tolerance into internal/lp/tol.go precisely because scattered
+// `x == y` on floats encodes an implicit tolerance of zero — correct
+// only by accident, and the first thing to drift when the simplex or
+// branch-and-bound substrate changes. New comparisons must route
+// through the tol.go epsilons.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `forbid exact float ==/!= in the numerical packages
+
+Flags ==/!= between floating-point expressions in the packages named by
+-packages (default internal/lp, internal/mip, internal/cover), outside
+tol.go — the one file allowed to define what "equal" means. Compare
+through the tol.go helpers/epsilons instead. _test.go files are exempt:
+determinism tests compare floats exactly on purpose.`
+
+// Analyzer is the floatcmp analyzer.
+const name = "floatcmp"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// packages gates the analyzer to the numerical substrate.
+var packages = placevet.PkgList{Suffixes: []string{
+	"internal/lp",
+	"internal/mip",
+	"internal/cover",
+}}
+
+func init() {
+	Analyzer.Flags.Var(&packages, "packages",
+		"comma-separated package path suffixes to check (\"*\" for all)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	if !placevet.PkgMatch(pass.Pkg.Path(), packages.Suffixes) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.BinaryExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if placevet.InTestFile(pass.Fset, be.Pos()) {
+			return
+		}
+		if placevet.FileBase(pass.Fset, be.Pos()) == "tol.go" {
+			return // the file that defines "equal"
+		}
+		if !isFloat(pass.TypesInfo, be.X) || !isFloat(pass.TypesInfo, be.Y) {
+			return
+		}
+		waivers.Report(pass, be.OpPos, name,
+			"exact %s on floating-point values encodes a zero tolerance; compare via the internal/lp/tol.go epsilons (or waive with //placevet:ignore floatcmp -- reason)",
+			be.Op)
+	})
+	return nil, nil
+}
+
+// isFloat reports whether the expression has floating-point type
+// (after unwrapping named types). Untyped float constants count: they
+// only appear in comparisons against typed floats.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}

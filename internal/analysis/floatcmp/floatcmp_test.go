@@ -1,0 +1,20 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analyzertest.Run(t, floatcmp.Analyzer, "testdata/src/floatcmp", "example.com/internal/lp")
+}
+
+// The same sources under an ungated import path produce no findings.
+func TestFloatcmpGating(t *testing.T) {
+	diags := analyzertest.RunCollect(t, floatcmp.Analyzer, "testdata/src/floatcmp", "example.com/internal/topology")
+	if len(diags) != 0 {
+		t.Errorf("gated analyzer reported outside its packages: %+v", diags)
+	}
+}

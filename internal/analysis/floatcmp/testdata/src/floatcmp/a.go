@@ -1,0 +1,30 @@
+package floatcmptest
+
+func eq(x, y float64) bool {
+	return x == y // want `exact == on floating-point values encodes a zero tolerance`
+}
+
+func ne(x float32) bool {
+	return x != 0 // want `exact != on floating-point values encodes a zero tolerance`
+}
+
+type price float64
+
+func namedFloat(a, b price) bool {
+	return a == b // want `exact == on floating-point values`
+}
+
+// ints compare exactly by nature.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// ordering comparisons are not equality; the epsilons govern ==/!=.
+func less(x, y float64) bool {
+	return x < y
+}
+
+func waived(x, y float64) bool {
+	//placevet:ignore floatcmp -- bit-exact propagation check, zero tolerance intended
+	return x == y
+}

@@ -1,0 +1,7 @@
+package floatcmptest
+
+// Determinism tests compare floats exactly on purpose; _test.go files
+// are exempt.
+func exactCheck(got, want float64) bool {
+	return got == want
+}

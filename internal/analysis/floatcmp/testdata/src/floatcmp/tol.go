@@ -1,0 +1,16 @@
+package floatcmptest
+
+// tol.go is the one file allowed to define what "equal" means.
+
+const eps = 1e-9
+
+// Eq is the tolerance-based comparison the rest of the package must use.
+func Eq(a, b float64) bool {
+	d := a - b
+	return d < eps && -d < eps
+}
+
+// ExactEq is permitted here and only here.
+func ExactEq(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,209 @@
+// Package maporder defines the placevet analyzer that polices map
+// iteration in the deterministic packages. Go randomizes map iteration
+// order on purpose; any `for range m` on a result path therefore
+// produces run-to-run different output unless the keys are sorted
+// first. PR 3 made parallel merges byte-identical to serial and PR 6
+// made cached service responses byte-identical across restarts — one
+// unsorted map walk in lp/mip/cover/engine/scenario/experiments/service
+// undoes both.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `forbid unsorted map iteration in the deterministic packages
+
+Flags every for-range over a map in the packages named by -packages
+(default: the repro's determinism-critical packages), except the one
+sanctioned idiom: a key-collection loop (body is exactly
+"keys = append(keys, k)") whose slice is later passed to sort.* or
+slices.Sort* in the same function. Anything else needs a
+//placevet:ignore maporder -- reason waiver (e.g. a commutative
+reduction over ints).`
+
+// Analyzer is the maporder analyzer.
+const name = "maporder"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// packages gates the analyzer to the determinism-critical packages.
+// The service package is included whole: its response paths are the
+// reason, and its non-response paths are few enough to waive.
+var packages = placevet.PkgList{Suffixes: []string{
+	"internal/lp",
+	"internal/mip",
+	"internal/cover",
+	"internal/engine",
+	"internal/scenario",
+	"internal/experiments",
+	"internal/service",
+}}
+
+func init() {
+	Analyzer.Flags.Var(&packages, "packages",
+		"comma-separated package path suffixes to check (\"*\" for all)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	if !placevet.PkgMatch(pass.Pkg.Path(), packages.Suffixes) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Walk function bodies so each range statement can be judged with
+	// its enclosing function in view (the sorted-collection idiom needs
+	// the "later sort call" check).
+	nodeFilter := []ast.Node{
+		(*ast.FuncDecl)(nil),
+		(*ast.FuncLit)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // nested literal: judged by its own visit
+			}
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapRange(pass.TypesInfo, rs) {
+				return true
+			}
+			if collectsSortedKeys(pass.TypesInfo, rs, body) {
+				return true
+			}
+			waivers.Report(pass, rs.Pos(), name,
+				"map iteration order is nondeterministic here; collect and sort the keys first (or waive with //placevet:ignore maporder -- reason)")
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// isMapRange reports whether the range expression is a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// collectsSortedKeys recognizes the sanctioned idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)   // or sort.Strings/sort.Ints/slices.Sort...
+//
+// The loop must not use the map value, its body must be exactly one
+// append of the key into a slice variable, and that variable must later
+// (within the same function body) be the first argument of a call into
+// package sort or slices. Append order into the slice is irrelevant
+// once the slice is sorted, which is what makes this one idiom safe.
+func collectsSortedKeys(info *types.Info, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	if rs.Value != nil && !isBlank(rs.Value) {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || info.ObjectOf(arg0) != info.ObjectOf(dst) {
+		return false
+	}
+	// The appended element must mention the key variable (k itself, or
+	// a projection like m2key(k)); a constant append would be a
+	// different — and still nondeterministic-length-only — loop.
+	usesKey := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == info.ObjectOf(keyID) {
+			usesKey = true
+		}
+		return true
+	})
+	if !usesKey {
+		return false
+	}
+	return sortedAfter(info, fnBody, rs, info.ObjectOf(dst))
+}
+
+// sortedAfter reports whether, after the range statement, the function
+// body contains a call sort.X(dst, ...) or slices.X(dst, ...).
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rs *ast.RangeStmt, dst types.Object) bool {
+	if dst == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := placevet.PkgFuncOf(info, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.ObjectOf(arg0) == dst {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,21 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	// The suffix "internal/engine" is on the default gate list.
+	analyzertest.Run(t, maporder.Analyzer, "testdata/src/maporder", "example.com/internal/engine")
+}
+
+// The same sources under an ungated import path produce no findings.
+func TestMaporderGating(t *testing.T) {
+	diags := analyzertest.RunCollect(t, maporder.Analyzer, "testdata/src/maporder", "example.com/internal/nondeterministic")
+	if len(diags) != 0 {
+		t.Errorf("gated analyzer reported outside its packages: %+v", diags)
+	}
+}

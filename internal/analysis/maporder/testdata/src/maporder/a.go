@@ -1,0 +1,53 @@
+package mapordertest
+
+import (
+	"sort"
+)
+
+// sanctioned: collect keys, sort, then iterate the slice.
+func emitSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sanctioned: sort.Slice counts too.
+func emitSortSlice(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// flagged: result order depends on map iteration.
+func emitUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// flagged: float accumulation order changes the rounded sum.
+func sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// waived: integer count is order-free.
+func count(m map[string]int) int {
+	n := 0
+	//placevet:ignore maporder -- commutative integer count, order cannot leak
+	for range m {
+		n++
+	}
+	return n
+}

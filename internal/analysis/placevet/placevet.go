@@ -1,0 +1,247 @@
+// Package placevet holds the machinery shared by the repro's custom
+// analyzers (internal/analysis/*): the waiver-directive parser and the
+// package-gating helpers. The analyzers encode house rules that keep
+// figures, parallel merges, and cached service responses byte-identical
+// (see DESIGN.md §8); placevet is the glue that lets a human overrule
+// one finding at a time, with a recorded reason, instead of disabling a
+// rule wholesale.
+//
+// # Waiver syntax
+//
+// A finding is waived by a comment on the flagged line, or on the line
+// directly above it:
+//
+//	//placevet:ignore maporder -- histogram buckets, order folded by sort below
+//	//placevet:ignore detrand,floatcmp -- exploratory tool, not on a result path
+//
+// The reason after " -- " is mandatory: a waiver without one is itself
+// reported by every analyzer it names. Analyzer names are
+// comma-separated; an unknown name is harmless (it waives nothing).
+package placevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix introduces a waiver comment. The "//placevet:" shape
+// follows the convention of //go: and //lint: directives: no space
+// after the slashes, so gofmt leaves it alone and it cannot be mistaken
+// for prose.
+const directivePrefix = "//placevet:ignore"
+
+// reasonSep separates the analyzer list from the mandatory reason.
+const reasonSep = " -- "
+
+// A Waiver is one parsed //placevet:ignore directive.
+type Waiver struct {
+	Pos       token.Pos // position of the comment
+	Line      int       // line the comment sits on
+	File      string    // filename the comment sits in
+	Analyzers []string  // names the directive waives
+	Reason    string    // text after " -- "; empty means malformed
+}
+
+// Waivers indexes every //placevet:ignore directive of one package by
+// file and line.
+type Waivers struct {
+	byFile map[string][]Waiver
+}
+
+// ParseWaivers scans the comments of every file in the pass and returns
+// the directive index. Analyzers call it once at the top of their run
+// function.
+func ParseWaivers(pass *analysis.Pass) *Waivers {
+	w := &Waivers{byFile: make(map[string][]Waiver)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				var names, reason string
+				if i := strings.Index(rest, reasonSep); i >= 0 {
+					names, reason = rest[:i], strings.TrimSpace(rest[i+len(reasonSep):])
+				} else {
+					names = rest
+				}
+				wv := Waiver{
+					Pos:    c.Pos(),
+					Reason: reason,
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						wv.Analyzers = append(wv.Analyzers, n)
+					}
+				}
+				p := pass.Fset.Position(c.Pos())
+				wv.Line, wv.File = p.Line, p.Filename
+				w.byFile[wv.File] = append(w.byFile[wv.File], wv)
+			}
+		}
+	}
+	return w
+}
+
+// names reports whether the waiver mentions analyzer.
+func (wv *Waiver) names(analyzer string) bool {
+	for _, n := range wv.Analyzers {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// at returns the well-formed waiver for analyzer covering line, if any.
+// A directive covers its own line (trailing comment) and the line below
+// it (comment-above form).
+func (w *Waivers) at(file string, line int, analyzer string) *Waiver {
+	for i := range w.byFile[file] {
+		wv := &w.byFile[file][i]
+		if wv.Reason == "" || !wv.names(analyzer) {
+			continue
+		}
+		if wv.Line == line || wv.Line == line-1 {
+			return wv
+		}
+	}
+	return nil
+}
+
+// Waived reports whether a finding of analyzer at pos is covered by a
+// well-formed waiver.
+func (w *Waivers) Waived(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	return w.at(p.Filename, p.Line, analyzer) != nil
+}
+
+// ReportMalformed emits a diagnostic for every directive that names
+// analyzer but carries no " -- reason". Each analyzer polices its own
+// name so a malformed waiver is reported exactly by the checks it tried
+// to silence.
+func (w *Waivers) ReportMalformed(pass *analysis.Pass, analyzer string) {
+	for _, ws := range w.byFile {
+		for _, wv := range ws {
+			if wv.Reason == "" && wv.names(analyzer) {
+				pass.Reportf(wv.Pos, "placevet:ignore %s waiver is missing a reason (use %q)", analyzer, "//placevet:ignore "+analyzer+" -- why")
+			}
+		}
+	}
+}
+
+// Report emits the diagnostic unless a waiver covers it.
+func (w *Waivers) Report(pass *analysis.Pass, pos token.Pos, analyzer, format string, args ...any) {
+	if w.Waived(pass.Fset, pos, analyzer) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// PkgMatch reports whether the package import path matches any of the
+// given path suffixes on "/" boundaries: "internal/lp" matches
+// "repro/internal/lp" but not "repro/internal/lp2". An empty suffix
+// list matches nothing; the single suffix "*" matches everything.
+func PkgMatch(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if s == "*" {
+			return true
+		}
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgList is a comma-separated list of package-path suffixes, usable as
+// a flag.Value so each gated analyzer exposes a -<name>.packages flag.
+type PkgList struct {
+	Suffixes []string
+}
+
+// String implements flag.Value.
+func (p *PkgList) String() string { return strings.Join(p.Suffixes, ",") }
+
+// Set implements flag.Value.
+func (p *PkgList) Set(s string) error {
+	p.Suffixes = nil
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			p.Suffixes = append(p.Suffixes, part)
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos sits in a _test.go file. Several house
+// rules apply only to production code: tests may use package-level rand
+// for fuzz corpora and compare floats exactly when asserting
+// byte-determinism.
+func InTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// FileBase returns the basename of the file containing pos, for rules
+// scoped to a single file (floatcmp exempts tol.go).
+func FileBase(fset *token.FileSet, pos token.Pos) string {
+	name := fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// IsPkgFunc reports whether the expression (after stripping parens) is
+// a use of the named package-level function of pkg — e.g.
+// IsPkgFunc(info, expr, "math/rand", "Intn"). Methods never match:
+// their *types.Func has a receiver.
+func IsPkgFunc(info *types.Info, expr ast.Expr, pkgPath string, names ...string) bool {
+	fn := pkgFuncOf(info, expr)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgFuncOf returns the package-level *types.Func an expression refers
+// to, or nil when the expression is not a direct use of one (method
+// values and calls, locals, and type conversions all return nil).
+func PkgFuncOf(info *types.Info, expr ast.Expr) *types.Func {
+	return pkgFuncOf(info, expr)
+}
+
+func pkgFuncOf(info *types.Info, expr ast.Expr) *types.Func {
+	expr = ast.Unparen(expr)
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

@@ -1,0 +1,102 @@
+package placevet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const waiverSrc = `package w
+
+func a() {
+	//placevet:ignore maporder -- bucket histogram, folded by sort below
+	x := 1
+	_ = x
+}
+
+func b() {
+	y := 2 //placevet:ignore detrand,floatcmp -- trailing two-name waiver
+	_ = y
+}
+
+func c() {
+	//placevet:ignore ctxloop
+	z := 3
+	_ = z
+}
+`
+
+// posAtLine returns some position on the given 1-based line of the file.
+func posAtLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestParseWaivers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", waiverSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{Fset: fset, Files: []*ast.File{f}}
+	w := ParseWaivers(pass)
+
+	// Comment-above form covers the line below the directive (line 5).
+	if !w.Waived(fset, posAtLine(fset, 5), "maporder") {
+		t.Error("comment-above waiver did not cover the next line")
+	}
+	// It does not cover unrelated analyzers.
+	if w.Waived(fset, posAtLine(fset, 5), "detrand") {
+		t.Error("waiver leaked to an analyzer it does not name")
+	}
+	// Trailing form covers its own line (line 10), for both names.
+	if !w.Waived(fset, posAtLine(fset, 10), "detrand") || !w.Waived(fset, posAtLine(fset, 10), "floatcmp") {
+		t.Error("trailing two-name waiver did not cover its line")
+	}
+	// A reason-less directive waives nothing.
+	if w.Waived(fset, posAtLine(fset, 16), "ctxloop") {
+		t.Error("malformed (reason-less) waiver suppressed a finding")
+	}
+}
+
+func TestPkgMatch(t *testing.T) {
+	cases := []struct {
+		path string
+		sufs []string
+		want bool
+	}{
+		{"repro/internal/lp", []string{"internal/lp"}, true},
+		{"repro/internal/lp2", []string{"internal/lp"}, false},
+		{"internal/lp", []string{"internal/lp"}, true},
+		{"repro", []string{"repro"}, true},
+		{"other/repro", []string{"repro"}, true},
+		{"reprox", []string{"repro"}, false},
+		{"anything", []string{"*"}, true},
+		{"anything", nil, false},
+	}
+	for _, c := range cases {
+		if got := PkgMatch(c.path, c.sufs); got != c.want {
+			t.Errorf("PkgMatch(%q, %v) = %v, want %v", c.path, c.sufs, got, c.want)
+		}
+	}
+}
+
+func TestPkgListFlag(t *testing.T) {
+	var p PkgList
+	if err := p.Set(" a/b , c ,"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Suffixes) != 2 || p.Suffixes[0] != "a/b" || p.Suffixes[1] != "c" {
+		t.Errorf("Set parsed to %v", p.Suffixes)
+	}
+	if s := p.String(); s != "a/b,c" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,13 @@
+// Package selftest is the seeded placevet self-test fixture: a package
+// that deliberately violates the detrand house rule. CI runs placevet
+// against this directory and asserts a non-zero exit, proving the
+// blocking job actually bites. It lives under testdata/ so ./...
+// wildcards (build, test, placevet's own clean run) never match it.
+package selftest
+
+import "math/rand"
+
+// Draw violates detrand: it draws from the ambient source.
+func Draw() int {
+	return rand.Intn(6)
+}

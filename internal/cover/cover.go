@@ -381,7 +381,7 @@ func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
 	for changed := true; changed; {
 		changed = false
 		for e := 0; e < in.NumElements; e++ {
-			if covered.get(e) || in.weight(e) == 0 {
+			if covered.get(e) || lp.StructZero(in.weight(e)) {
 				continue // dropped or already-covered elements force nothing
 			}
 			if len(coverers[e]) == 1 {
@@ -609,7 +609,7 @@ func (s *exactSearch) refreshBans() {
 func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, forced []int) (z float64, dj []float64, ok bool) {
 	rows := 0
 	for e := 0; e < in.NumElements; e++ {
-		if in.weight(e) != 0 {
+		if !lp.StructZero(in.weight(e)) {
 			rows++
 		}
 	}
@@ -645,7 +645,7 @@ func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, f
 	var covTerms []lp.Term
 	for e := 0; e < in.NumElements; e++ {
 		w := in.weight(e)
-		if w == 0 {
+		if lp.StructZero(w) {
 			continue
 		}
 		d := p.AddVariable("d", 0, 1, 0)

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestRangeOrderContract pins the documented Cache.Range contract:
+// every retained completed entry is visited exactly once, in an order
+// callers must treat as arbitrary. The two consumer styles the repo
+// sanctions — commutative aggregation (the /metrics exporter shape)
+// and collect-keys-then-sort (anything byte-deterministic) — must
+// produce identical output from caches built in different insertion
+// orders; anything else is a determinism bug, which is exactly why the
+// maporder analyzer's waiver on Range's own loop points here.
+func TestRangeOrderContract(t *testing.T) {
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%02d", i)
+	}
+
+	// Build two caches holding identical entries, inserted in opposite
+	// orders (map iteration genuinely differs run to run, insertion
+	// order is the part we control).
+	forward, backward := NewCache(), NewCache()
+	for i, k := range keys {
+		if !forward.Seed(k, i) {
+			t.Fatalf("seed %s", k)
+		}
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		if !backward.Seed(keys[i], i) {
+			t.Fatalf("seed %s", keys[i])
+		}
+	}
+
+	// Commutative aggregation: identical regardless of visit order.
+	aggregate := func(c *Cache) (count, sum int) {
+		c.Range(func(_ string, v any) bool {
+			count++
+			sum += v.(int)
+			return true
+		})
+		return
+	}
+	fc, fs := aggregate(forward)
+	bc, bs := aggregate(backward)
+	if fc != bc || fs != bs || fc != len(keys) {
+		t.Errorf("commutative aggregation diverged: forward %d/%d backward %d/%d", fc, fs, bc, bs)
+	}
+
+	// Collect-then-sort: byte-identical key lists from both caches.
+	emit := func(c *Cache) []string {
+		var got []string
+		c.Range(func(k string, _ any) bool {
+			got = append(got, k)
+			return true
+		})
+		sort.Strings(got)
+		return got
+	}
+	fkeys, bkeys := emit(forward), emit(backward)
+	if len(fkeys) != len(keys) || len(bkeys) != len(keys) {
+		t.Fatalf("Range visited %d/%d entries, want %d", len(fkeys), len(bkeys), len(keys))
+	}
+	for i := range fkeys {
+		if fkeys[i] != bkeys[i] {
+			t.Fatalf("sorted key lists diverge at %d: %q vs %q", i, fkeys[i], bkeys[i])
+		}
+	}
+}
+
+// TestRangeSkipsInFlightAndFailed pins the visibility half of the
+// contract: Range exposes only retained completed entries.
+func TestRangeSkipsInFlightAndFailed(t *testing.T) {
+	c := NewCache()
+	c.Seed("done", 1)
+
+	// A failed computation is dropped, so Range must not see it.
+	if _, err := c.Do("failed", func() (any, error) {
+		return nil, errors.New("boom")
+	}); err == nil {
+		t.Fatal("expected compute error")
+	}
+
+	// An in-flight computation blocks until we release it; keep one
+	// parked while Range runs.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do("inflight", func() (any, error) {
+			close(started)
+			<-release
+			return 2, nil
+		})
+	}()
+	<-started
+
+	var seen []string
+	c.Range(func(k string, _ any) bool {
+		seen = append(seen, k)
+		return true
+	})
+	close(release)
+
+	if len(seen) != 1 || seen[0] != "done" {
+		t.Fatalf("Range saw %v, want only [done]", seen)
+	}
+
+	// Early stop: a false return ends the walk after one entry.
+	n := 0
+	c.Seed("second", 3)
+	c.Range(func(string, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop Range visited %d entries, want 1", n)
+	}
+}

@@ -536,6 +536,7 @@ func SamplerBiasOn(ctx context.Context, eng *engine.Runner, seed int64) *stats.S
 		panic(err)
 	}
 	mice := 0
+	//placevet:ignore maporder -- commutative integer count; no order can leak into the figure
 	for _, n := range truth {
 		if n < 1000 {
 			mice++

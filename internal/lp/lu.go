@@ -70,7 +70,7 @@ func (f *luFactor) factor(cols *csc, basis []int) bool {
 		rows, vals := cols.col(j)
 		ent := f.colEnt[k][:0]
 		for t, i := range rows {
-			if vals[t] == 0 {
+			if StructZero(vals[t]) {
 				continue
 			}
 			ent = append(ent, luEntry{pos: i, val: vals[t]})
@@ -292,7 +292,7 @@ func (f *luFactor) factorBump(front int32, nb int) bool {
 		piv := d[k*width+k]
 		for i := k + 1; i < nb; i++ {
 			mult := d[i*width+k] / piv
-			if mult == 0 {
+			if StructZero(mult) {
 				continue
 			}
 			d[i*width+k] = mult
@@ -311,13 +311,13 @@ func (f *luFactor) factorBump(front int32, nb int) bool {
 		pos := int(front) + k
 		// L below-diagonal entries of bump column k.
 		for i := k + 1; i < nb; i++ {
-			if v := d[i*width+k]; v != 0 {
+			if v := d[i*width+k]; !StructZero(v) {
 				f.lCol[pos] = append(f.lCol[pos], luEntry{pos: front + int32(i), val: v})
 			}
 		}
 		// U above-diagonal bump entries of column k.
 		for i := 0; i < k; i++ {
-			if v := d[i*width+k]; v != 0 {
+			if v := d[i*width+k]; !StructZero(v) {
 				f.uCol[pos] = append(f.uCol[pos], luEntry{pos: front + int32(i), val: v})
 			}
 		}
@@ -326,7 +326,7 @@ func (f *luFactor) factorBump(front int32, nb int) bool {
 	for t := 0; t < nBack; t++ {
 		pos := int(front) + nb + t
 		for i := 0; i < nb; i++ {
-			if v := d[i*width+nb+t]; v != 0 {
+			if v := d[i*width+nb+t]; !StructZero(v) {
 				f.uCol[pos] = append(f.uCol[pos], luEntry{pos: front + int32(i), val: v})
 			}
 		}
@@ -346,7 +346,7 @@ func (f *luFactor) ftran(x []float64) {
 	// L solve (unit diagonal, sparse columns).
 	for k := 0; k < m; k++ {
 		xk := w[k]
-		if xk == 0 {
+		if StructZero(xk) {
 			continue
 		}
 		for _, e := range f.lCol[k] {
@@ -357,7 +357,7 @@ func (f *luFactor) ftran(x []float64) {
 	for k := m - 1; k >= 0; k-- {
 		xk := w[k] / f.diag[k]
 		w[k] = xk
-		if xk == 0 {
+		if StructZero(xk) {
 			continue
 		}
 		for _, e := range f.uCol[k] {
@@ -378,7 +378,7 @@ func (f *luFactor) btran(y []float64) {
 	for k := 0; k < m; k++ {
 		s := y[f.posSlot[k]]
 		for _, e := range f.uCol[k] {
-			if w[e.pos] != 0 {
+			if !StructZero(w[e.pos]) {
 				s -= e.val * w[e.pos]
 			}
 		}
@@ -388,7 +388,7 @@ func (f *luFactor) btran(y []float64) {
 	for k := m - 1; k >= 0; k-- {
 		s := w[k]
 		for _, e := range f.lCol[k] {
-			if w[e.pos] != 0 {
+			if !StructZero(w[e.pos]) {
 				s -= e.val * w[e.pos]
 			}
 		}

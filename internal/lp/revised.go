@@ -201,7 +201,7 @@ func newRevised(p *Problem) *revised {
 	resid := make([]float64, m)
 	copy(resid, rv.rhs)
 	for j := 0; j < rv.artBase; j++ {
-		if xj := rv.lower[j]; xj != 0 {
+		if xj := rv.lower[j]; !StructZero(xj) {
 			rows, vals := rv.cols.col(j)
 			for k, i := range rows {
 				resid[i] -= vals[k] * xj
@@ -246,7 +246,7 @@ func (rv *revised) ftran(x []float64) {
 	for e := range rv.etas {
 		et := &rv.etas[e]
 		xr := x[et.r] / et.piv
-		if xr != 0 {
+		if !StructZero(xr) {
 			for t, i := range et.idx {
 				x[i] -= et.val[t] * xr
 			}
@@ -263,7 +263,7 @@ func (rv *revised) btran(y []float64) {
 		et := &rv.etas[e]
 		s := y[et.r]
 		for t, i := range et.idx {
-			if y[i] != 0 {
+			if !StructZero(y[i]) {
 				s -= et.val[t] * y[i]
 			}
 		}
@@ -316,7 +316,7 @@ func (rv *revised) computeDj(c []float64) {
 		d := c[j]
 		rows, vals := rv.cols.col(j)
 		for t, i := range rows {
-			if y[i] != 0 {
+			if !StructZero(y[i]) {
 				d -= y[i] * vals[t]
 			}
 		}
@@ -458,7 +458,7 @@ func (rv *revised) computePivotRow(r int) []float64 {
 		rows, vals := rv.cols.col(j)
 		s := 0.0
 		for t, i := range rows {
-			if rho[i] != 0 {
+			if !StructZero(rho[i]) {
 				s += rho[i] * vals[t]
 			}
 		}
@@ -498,7 +498,7 @@ func (rv *revised) applyPivot(r, enter int, step float64, dir int, alpha []float
 			continue
 		}
 		a := arj[j]
-		if a != 0 {
+		if !StructZero(a) {
 			rv.dj[j] -= ratio * a
 			if devex {
 				if w := a * a * wScale; w > rv.weight[j] {

@@ -274,7 +274,7 @@ func (tb *tableau) chooseEntering(c, y []float64) (int, int) {
 		// Reduced cost d_j = c_j - y·T_j.
 		d := c[j]
 		for i := 0; i < tb.m; i++ {
-			if y[i] != 0 {
+			if !StructZero(y[i]) {
 				d -= y[i] * tb.t[i][j]
 			}
 		}
@@ -410,7 +410,7 @@ func (tb *tableau) pivot(r, enter int, step float64, dir int) {
 			continue
 		}
 		f := tb.t[i][enter]
-		if f == 0 {
+		if StructZero(f) {
 			continue
 		}
 		rowI := tb.t[i]

@@ -24,3 +24,23 @@ const (
 	// when any weight exceeds it the reference framework is reset.
 	devexMaxWeight = 1e7
 )
+
+// The two helpers below are the sanctioned forms of *exact* float
+// comparison. The placevet floatcmp analyzer flags bare ==/!= on
+// floats everywhere in lp/mip/cover except this file, so every exact
+// comparison in the numerical substrate is either one of these calls —
+// stating its intent — or an explicitly waived site.
+
+// StructZero reports whether a stored value is a structural (exact)
+// zero: a sparse-matrix entry that was never written, a multiplier
+// whose update can be skipped entirely, or an option field left at its
+// zero sentinel. The test is exact by design — replacing it with a
+// tolerance would *drop* small nonzero updates and change results.
+func StructZero(x float64) bool { return x == 0 }
+
+// ExactEq reports whether two floats are bit-comparable equal. Its one
+// legitimate use is deterministic tie-breaking in comparators (equal
+// sort keys must fall through to an index comparison on every machine
+// the same way) and exact-bound detection (a binary variable has
+// bounds exactly 0 and 1 by construction).
+func ExactEq(a, b float64) bool { return a == b }

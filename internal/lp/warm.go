@@ -85,7 +85,7 @@ func (rv *revised) extractDuals(p *Problem) (duals, reduced []float64) {
 		d := rv.cost[j]
 		rows, vals := rv.cols.col(j)
 		for t, i := range rows {
-			if y[i] != 0 {
+			if !StructZero(y[i]) {
 				d -= y[i] * vals[t]
 			}
 		}
@@ -135,7 +135,7 @@ func (rv *revised) seedBasis(seed *Basis) bool {
 		if rv.status[j] == basic {
 			continue
 		}
-		if xj := rv.nonbasicValue(j); xj != 0 {
+		if xj := rv.nonbasicValue(j); !StructZero(xj) {
 			rows, vals := rv.cols.col(j)
 			for t, i := range rows {
 				x[i] -= vals[t] * xj

@@ -128,7 +128,7 @@ func (s *search) strongBranchInit(rootSol *lp.Solution) {
 	sort.SliceStable(cands, func(a, b int) bool {
 		da := math.Abs(cands[a].frac - 0.5)
 		db := math.Abs(cands[b].frac - 0.5)
-		if da != db {
+		if !lp.ExactEq(da, db) {
 			return da < db
 		}
 		return cands[a].j < cands[b].j

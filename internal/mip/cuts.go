@@ -84,7 +84,7 @@ func newSeparator(p *Problem) *separator {
 	s.isBin = make([]bool, p.lp.NumVariables())
 	for j, isInt := range p.integer {
 		lo, hi := p.lp.Bounds(lp.Var(j))
-		s.isBin[j] = isInt && lo == 0 && hi == 1
+		s.isBin[j] = isInt && lp.StructZero(lo) && lp.ExactEq(hi, 1)
 	}
 	for _, r := range normalizeRows(p, p.lp.NumConstraints()) {
 		s.forms = append(s.forms, leForm{vars: r.vars, coefs: r.coefs, rhs: r.rhs})
@@ -249,7 +249,7 @@ func (s *separator) cliqueCuts(x []float64, cuts []cutRow) []cutRow {
 	}
 	sort.SliceStable(cand, func(a, b int) bool {
 		va, vb := litVal(x, cand[a]), litVal(x, cand[b])
-		if va != vb {
+		if !lp.ExactEq(va, vb) {
 			return va > vb
 		}
 		return cand[a] < cand[b]
@@ -336,7 +336,7 @@ func (s *separator) coverCuts(x []float64, cuts []cutRow) []cutRow {
 		wsumAll := 0.0
 		for k, j := range f.vars {
 			a := f.coefs[k]
-			if a == 0 {
+			if lp.StructZero(a) {
 				continue
 			}
 			if !s.isBin[j] {
@@ -375,7 +375,7 @@ func (s *separator) coverCuts(x []float64, cuts []cutRow) []cutRow {
 		sort.SliceStable(order, func(a, b int) bool {
 			ra := (1 - items[order[a]].zval) / items[order[a]].w
 			rb := (1 - items[order[b]].zval) / items[order[b]].w
-			if ra != rb {
+			if !lp.ExactEq(ra, rb) {
 				return ra < rb
 			}
 			return items[order[a]].lit < items[order[b]].lit
@@ -395,7 +395,7 @@ func (s *separator) coverCuts(x []float64, cuts []cutRow) []cutRow {
 		// Minimalize: drop the least fractional members while the
 		// cover still overflows.
 		sort.SliceStable(cover, func(a, b int) bool {
-			if items[cover[a]].zval != items[cover[b]].zval {
+			if !lp.ExactEq(items[cover[a]].zval, items[cover[b]].zval) {
 				return items[cover[a]].zval < items[cover[b]].zval
 			}
 			return items[cover[a]].lit < items[cover[b]].lit

@@ -283,10 +283,10 @@ func (p *Problem) SolveContext(ctx context.Context) (*Solution, error) {
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 200000
 	}
-	if opts.IntTol == 0 {
+	if lp.StructZero(opts.IntTol) {
 		opts.IntTol = 1e-6
 	}
-	if opts.Gap == 0 {
+	if lp.StructZero(opts.Gap) {
 		opts.Gap = 1e-9
 	}
 	if opts.CutRounds == 0 {

@@ -104,7 +104,7 @@ func normalizeRows(p *Problem, nRows int) []*prow {
 		// Drop exact zero coefficients produced by cancellation.
 		w := 0
 		for k := range r.vars {
-			if r.coefs[k] != 0 {
+			if !lp.StructZero(r.coefs[k]) {
 				r.vars[w], r.coefs[w] = r.vars[k], r.coefs[k]
 				w++
 			}
@@ -194,7 +194,7 @@ func (pr *presolver) fix(j int, v float64) bool {
 			continue
 		}
 		for k, vj := range r.vars {
-			if vj == j && r.coefs[k] != 0 {
+			if vj == j && !lp.StructZero(r.coefs[k]) {
 				r.rhs -= r.coefs[k] * v
 				r.coefs[k] = 0
 			}
@@ -233,7 +233,7 @@ func (pr *presolver) roundIntBounds() bool {
 func (pr *presolver) activity(r *prow) (minAct, maxAct float64, live int) {
 	for k, j := range r.vars {
 		a := r.coefs[k]
-		if a == 0 || pr.fixed[j] {
+		if lp.StructZero(a) || pr.fixed[j] {
 			continue
 		}
 		live++
@@ -319,7 +319,7 @@ func (pr *presolver) reduceRow(r *prow) bool {
 		// Singleton row → bound, then the row dies.
 		for k, j := range r.vars {
 			a := r.coefs[k]
-			if a == 0 || pr.fixed[j] {
+			if lp.StructZero(a) || pr.fixed[j] {
 				continue
 			}
 			bound := r.rhs / a
@@ -387,7 +387,7 @@ func (pr *presolver) tightenBinaries(r *prow, minAct, maxAct float64) bool {
 	changed := false
 	for k, j := range r.vars {
 		a := r.coefs[k]
-		if a == 0 || pr.fixed[j] || !pr.p.integer[j] || pr.lo[j] != 0 || pr.hi[j] != 1 {
+		if lp.StructZero(a) || pr.fixed[j] || !pr.p.integer[j] || !lp.StructZero(pr.lo[j]) || !lp.ExactEq(pr.hi[j], 1) {
 			continue
 		}
 		// minAct counts min(0, a) for this binary; setting x_j = s
@@ -439,7 +439,7 @@ func (pr *presolver) liveEntries(r *prow) ([]int, []float64) {
 	var vars []int
 	var coefs []float64
 	for k, j := range r.vars {
-		if r.coefs[k] != 0 && !pr.fixed[j] {
+		if !lp.StructZero(r.coefs[k]) && !pr.fixed[j] {
 			vars = append(vars, j)
 			coefs = append(coefs, r.coefs[k])
 		}
@@ -578,7 +578,7 @@ func (pr *presolver) removeEmptyColumns() {
 			continue
 		}
 		for k, j := range r.vars {
-			if r.coefs[k] != 0 && !pr.fixed[j] {
+			if !lp.StructZero(r.coefs[k]) && !pr.fixed[j] {
 				inRow[j] = true
 			}
 		}
@@ -635,7 +635,7 @@ func (pr *presolver) build() {
 		}
 		var terms []lp.Term
 		for k, j := range r.vars {
-			if r.coefs[k] != 0 && !pr.fixed[j] {
+			if !lp.StructZero(r.coefs[k]) && !pr.fixed[j] {
 				terms = append(terms, lp.Term{Var: lp.Var(st.mapTo[j]), Coef: r.coefs[k]})
 			}
 		}

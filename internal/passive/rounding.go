@@ -38,6 +38,16 @@ func RandomizedRounding(ctx context.Context, in *core.Instance, k float64, seed 
 	// found a cover without them — rounding keeps drawing until the
 	// target is reached, falling back to opening everything).
 	for alpha := 1.0; ; alpha *= 2 {
+		if ctx.Err() != nil {
+			// Cancelled mid-boost: open everything still uncovered so
+			// the caller gets a feasible (if unpruned-quality) incumbent
+			// immediately — the same degraded-not-failed contract the
+			// tree solvers honor on cancellation.
+			for e := 0; e < in.G.NumEdges(); e++ {
+				chosen[graph.EdgeID(e)] = true
+			}
+			break
+		}
 		for e, xbar := range frac {
 			if chosen[graph.EdgeID(e)] {
 				continue

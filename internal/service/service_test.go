@@ -182,6 +182,7 @@ func TestInlineTopologySolve(t *testing.T) {
 
 func TestBadRequestsAreClientErrors(t *testing.T) {
 	ts := newTestServer(t, Config{})
+	//placevet:ignore maporder -- test table; each case is independent of execution order
 	for name, body := range map[string]string{
 		"no problem":       `{"solver":"tap/exact"}`,
 		"both forms":       `{"family":"waxman","size":10,"topology":"node 0 r backbone\n"}`,
