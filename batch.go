@@ -98,6 +98,9 @@ func (r *Runner) BatchStats() Stats {
 		VarsFixed:        st.VarsFixed,
 		PresolveRemoved:  st.PresolveRemoved,
 		StrongBranches:   st.StrongBranches,
+		SubtreeTasks:     st.SubtreeTasks,
+		Steals:           st.Steals,
+		DominancePrunes:  st.DominancePrunes,
 	}
 }
 
@@ -183,6 +186,9 @@ func (r *Runner) addStats(res *Result) {
 		VarsFixed:        res.Stats.VarsFixed,
 		PresolveRemoved:  res.Stats.PresolveRemoved,
 		StrongBranches:   res.Stats.StrongBranches,
+		SubtreeTasks:     res.Stats.SubtreeTasks,
+		Steals:           res.Stats.Steals,
+		DominancePrunes:  res.Stats.DominancePrunes,
 	})
 }
 

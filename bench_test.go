@@ -9,6 +9,7 @@ import (
 	"context"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cover"
@@ -256,6 +257,60 @@ func beaconStyleILP(opts mip.Options) *mip.Problem {
 	}
 	p.SetOptions(opts)
 	return p
+}
+
+// fig8Instance builds one Figure 8 (15-router POP) instance, the
+// cover-search ablation's subject: its k = 95% point is a hard one for
+// the branch-and-bound (structural integrality gap; see EXPERIMENTS.md).
+func fig8Instance(seed int64) *Instance {
+	cfg := topology.Paper15
+	cfg.Seed = seed
+	pop := topology.Generate(cfg)
+	in, err := traffic.Route(pop, traffic.Demands(pop, traffic.Config{Seed: seed}))
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// BenchmarkAblationCoverTree gates each layer of the specialized cover
+// branch-and-bound on the Figure 8 hard point: the plain tree, then
+// kernelization presolve, the Lagrangian/LP dual bounds, the in-search
+// dominance reductions, and finally the deterministic parallel subtree
+// phase, cumulatively. Every variant runs under the same node budget,
+// so besides wall time the devices/op metric shows incumbent quality
+// per node spent — the dimension the reductions exist to improve — and
+// nodes/op shows how much of the budget each variant actually needed.
+func BenchmarkAblationCoverTree(b *testing.B) {
+	variants := []struct {
+		name string
+		opts cover.ExactOptions
+	}{
+		{"PlainTree", cover.ExactOptions{NoPresolve: true, NoDualBound: true, NoDominance: true, Workers: 1}},
+		{"Presolve", cover.ExactOptions{NoDualBound: true, NoDominance: true, Workers: 1}},
+		{"PresolveDual", cover.ExactOptions{NoDominance: true, Workers: 1}},
+		{"FullSerial", cover.ExactOptions{Workers: 1}},
+		{"FullParallel", cover.ExactOptions{Workers: runtime.GOMAXPROCS(0)}},
+	}
+	in := fig8Instance(0)
+	const k = 0.95
+	for _, v := range variants {
+		opts := v.opts
+		opts.MaxNodes = 20_000
+		b.Run(v.name, func(b *testing.B) {
+			nodes, devices := 0, 0
+			for i := 0; i < b.N; i++ {
+				pl := passive.ExactCover(context.Background(), in, k, opts)
+				if pl.Fraction < k-1e-9 {
+					b.Fatalf("%s returned an infeasible cover: %g < %g", v.name, pl.Fraction, k)
+				}
+				nodes += pl.Stats.Nodes
+				devices += pl.Devices()
+			}
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+			b.ReportMetric(float64(devices)/float64(b.N), "devices/op")
+		})
+	}
 }
 
 // BenchmarkAblationBranching compares the two branch-and-bound

@@ -72,6 +72,18 @@ func (ps ProbeSet) CoversAllEdges() bool {
 // feasible. An error is reported when some link is unreachable from
 // every candidate.
 func ComputeProbes(g *graph.Graph, candidates []graph.NodeID) (ProbeSet, error) {
+	return ComputeProbesTrees(g, candidates, g.ShortestPaths)
+}
+
+// ComputeProbesTrees is ComputeProbes with the shortest-path trees
+// supplied by treeOf instead of computed inline. Sweep drivers that
+// re-probe overlapping candidate sets on the same topology (the Figure
+// 9–11 |V_B| sweeps re-draw candidates from one router pool per seed)
+// pass a memoizing provider so each router's tree is computed once per
+// seed instead of once per sweep point. The trees are only read and
+// their paths cloned before use, so a provider may serve the same tree
+// to concurrent callers.
+func ComputeProbesTrees(g *graph.Graph, candidates []graph.NodeID, treeOf func(graph.NodeID) map[graph.NodeID]graph.Path) (ProbeSet, error) {
 	if len(candidates) == 0 {
 		return ProbeSet{}, fmt.Errorf("active: no candidate beacons")
 	}
@@ -91,7 +103,7 @@ func ComputeProbes(g *graph.Graph, candidates []graph.NodeID) (ProbeSet, error) 
 	var pairProbes []Probe
 	trees := make(map[graph.NodeID]map[graph.NodeID]graph.Path, len(candidates))
 	for _, u := range candidates {
-		trees[u] = g.ShortestPaths(u)
+		trees[u] = treeOf(u)
 	}
 	for i, u := range candidates {
 		for _, v := range candidates[i+1:] {

@@ -45,6 +45,19 @@ type SolveStats struct {
 	// StrongBranches is the number of strong-branching probe LPs solved
 	// to initialize pseudo-cost branching.
 	StrongBranches int
+	// SubtreeTasks is the number of independent subtree tasks the
+	// parallel cover branch-and-bound dispatched over its worker pool
+	// (0 when the search closed within the serial burn-in).
+	SubtreeTasks int
+	// Steals is the number of subtree tasks executed by a worker other
+	// than the task's round-robin home worker — the load-balancing
+	// traffic of the parallel tree search.
+	Steals int
+	// DominancePrunes is the number of sets the cover search excluded by
+	// residual-coverage dominance (in the exclude branch, any set whose
+	// residual coverage is contained in the branched set's), separating
+	// dominance-pruned from bound-pruned work.
+	DominancePrunes int
 	// Bound is the best proven bound on the objective; it equals the
 	// objective at optimality and is meaningful only when Proven or an
 	// early-stopped exact search produced it.

@@ -72,6 +72,16 @@ func (in Instance) TotalWeight() float64 {
 	return t
 }
 
+// coverTol is the feasibility tolerance on accumulated covered weight:
+// absolute near zero, relative at scale. Covered weight is a float sum
+// whose order differs between the greedy, the search, and the caller's
+// target computation, so it drifts by O(n·ulp·total) — on a
+// 2000-element instance with total weight ~10⁴ that is ~1e-9, and a
+// fixed absolute 1e-12 would misreport a complete cover of a
+// large-volume instance as infeasible. 1e-9 relative matches the
+// feasibility check callers apply to the returned fraction.
+func coverTol(target float64) float64 { return 1e-9 * (1 + math.Abs(target)) }
+
 // bitset is a fixed-size bitmap over elements.
 type bitset []uint64
 
@@ -110,11 +120,27 @@ type Result struct {
 	Feasible bool
 	// Exact is true when the result is provably optimal.
 	Exact bool
-	// Nodes counts branch-and-bound nodes (exact solver only).
+	// Nodes counts branch-and-bound nodes (exact solver only). With
+	// Workers > 1 the total is schedule-dependent for subtrees the
+	// shared incumbent aborted early; at Workers <= 1 it is exactly
+	// reproducible.
 	Nodes int
 	// SetsBanned counts the sets permanently excluded by the root LP's
 	// reduced-cost fixing (exact solver only).
 	SetsBanned int
+	// SubtreeTasks is the number of frontier subtree tasks dispatched
+	// over the worker pool (0 when the search closed in the serial
+	// burn-in). The frontier is worker-count independent.
+	SubtreeTasks int
+	// Steals counts subtree tasks executed by a worker other than their
+	// round-robin home worker (always 0 for serial searches).
+	Steals int
+	// DominancePrunes counts the sets excluded by in-search residual
+	// dominance (exclude branches drop every candidate whose residual
+	// coverage the branched set contains), distinguishing dominance-
+	// pruned from bound-pruned work. Schedule-dependent like Nodes when
+	// Workers > 1.
+	DominancePrunes int
 }
 
 // GreedyPartial runs the classical greedy for Minimum Partial Cover: it
@@ -128,7 +154,8 @@ func GreedyPartial(in Instance, target float64) Result {
 	covered := newBitset(in.NumElements)
 	res := Result{Feasible: true}
 	used := make([]bool, len(in.Sets))
-	for res.Covered < target-1e-12 {
+	tol := coverTol(target)
+	for res.Covered < target-tol {
 		best, bestGain := -1, 0.0
 		for si, s := range in.Sets {
 			if used[si] {
@@ -183,30 +210,65 @@ func GreedyBoundRatio(n int) float64 {
 // ExactOptions tunes the exact branch-and-bound.
 type ExactOptions struct {
 	// MaxNodes caps the search; 0 means 5,000,000. When exceeded the
-	// best incumbent is returned with Exact=false.
+	// best incumbent is returned with Exact=false. Parallel searches
+	// split the remaining budget evenly across subtree tasks (with a
+	// small per-task floor), so the total stays comparable.
 	MaxNodes int
+	// Workers bounds the subtree-task worker pool of the parallel
+	// phase; <= 1 runs the identical algorithm serially (the oracle:
+	// the returned cover is byte-identical for any worker count).
+	Workers int
+	// NoPresolve disables the kernelization presolve (signature
+	// merging, dominated sets/elements, forced unique coverers).
+	// Ablation and oracle-test knob; production leaves it false.
+	NoPresolve bool
+	// NoDualBound disables the per-node Lagrangian dual-ascent bound.
+	NoDualBound bool
+	// NoDominance disables the in-search exclude-branch dominance
+	// reductions (including the symmetry break on residual-identical
+	// sets).
+	NoDominance bool
 }
 
 // Exact solves Minimum Partial Cover exactly with branch and bound:
 // depth-first search that always branches on the set with the largest
 // residual coverage (include first, giving a greedy dive for early
-// incumbents) and prunes with an optimistic fractional bound that counts
-// the largest residual coverages ignoring overlaps.
+// incumbents) and prunes with an optimistic fractional bound, a frozen
+// Lagrangian dual-ascent bound, and (full covers) a disjoint-family
+// bound.
 //
-// Before searching it applies the classical set-cover reductions:
-// dominated sets (element set contained in another's) are excluded
-// always; for full covers, dominated elements (covering-set list
-// containing another element's) are dropped and sets covering some
-// element exclusively are forced in.
+// Before searching it runs a kernelization fixpoint: dominated sets
+// (residual coverage contained in another's) are excluded, and for
+// full covers dominated elements are dropped and unique-coverer sets
+// forced in, iterating until nothing changes. In-search, every exclude
+// branch also drops the candidates the branched set residually
+// dominates (which breaks the symmetry on interchangeable columns:
+// only the lowest-index permutation of residual-identical sets is
+// explored).
 //
-// When ctx fires mid-search the best incumbent found so far (at worst
-// the greedy warm start) is returned with Exact = false.
+// The search itself runs in four deterministic phases (DESIGN.md §4a):
+// a serial burn-in with a fixed node budget closes easy instances
+// outright; a surviving search pays one root LP for reduced-cost set
+// bans; the tree is then expanded serially to a fixed-depth frontier
+// of independent subtree tasks; and the tasks run on opts.Workers
+// workers with a shared atomic incumbent used only for whole-subtree
+// aborts. The merged result is chosen by (cover size, task index), so
+// the returned cover is byte-identical for any worker count — one
+// worker is the oracle the parallel runs are compared against.
+//
+// When ctx fires mid-search the best incumbent found so far by any
+// phase or worker (at worst the greedy warm start) is returned with
+// Exact = false.
 func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) Result {
 	if err := in.Validate(); err != nil {
 		panic(err)
 	}
 	if opts.MaxNodes == 0 {
 		opts.MaxNodes = 5_000_000
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
 	// Start from the greedy incumbent: it bounds the search depth.
 	greedy := GreedyPartial(in, target)
@@ -224,25 +286,30 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 	}
 
 	fullCover := target >= in.TotalWeight()-1e-9
-	// Merge elements with identical covering sets (their coverage always
-	// moves together, so one weighted representative suffices at any k).
-	searchIn, searchTarget := mergeSignatures(in, target)
+	searchIn, searchTarget := in, target
+	if !opts.NoPresolve {
+		// Merge elements with identical covering sets (their coverage
+		// always moves together, so one weighted representative
+		// suffices at any k).
+		searchIn, searchTarget = mergeSignatures(in, target)
+	}
 
 	s := &exactSearch{
-		ctx:     ctx,
-		in:      searchIn,
-		target:  searchTarget,
-		best:    append([]int(nil), greedy.Chosen...),
-		bestLen: len(greedy.Chosen),
-		maxN:    opts.MaxNodes,
+		ctx:           ctx,
+		in:            searchIn,
+		target:        searchTarget,
+		tol:           coverTol(searchTarget),
+		best:          append([]int(nil), greedy.Chosen...),
+		bestLen:       len(greedy.Chosen),
+		frontierDepth: -1,
 	}
-	excluded := excludeDominatedSets(searchIn)
+	excluded := make([]bool, len(searchIn.Sets))
 	covered := newBitset(searchIn.NumElements)
 	var forced []int
+	if !opts.NoPresolve {
+		forced = s.presolve(excluded, covered, fullCover)
+	}
 	if fullCover {
-		reduced, reducedTarget := dropDominatedElements(searchIn, excluded)
-		s.in, s.target = reduced, reducedTarget
-		forced = forceUniqueCoverers(reduced, excluded, covered)
 		s.prepareDisjointBound(excluded, covered)
 	}
 	coveredW := 0.0
@@ -251,53 +318,148 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 			coveredW += s.in.weight(e)
 		}
 	}
-	s.prepareGains(covered, excluded)
 	s.rootExcluded, s.forced = excluded, forced
-	s.search(covered, coveredW, forced)
-
-	res := Result{
-		Chosen:   s.best,
-		Feasible: true,
-		Exact:    !s.capped,
-		Nodes:    s.nodes,
+	s.prepareGains(covered, excluded, !opts.NoDominance)
+	if !opts.NoDualBound {
+		s.prepareDualBound(excluded, covered, coveredW)
 	}
-	for _, b := range s.banned {
-		if b {
-			res.SetsBanned++
+
+	// Phase 1 — serial burn-in: the strengthened serial search with a
+	// fixed node budget. Most instances close here; the budget (not a
+	// wall clock) keeps the phase boundary deterministic.
+	burnIn := coverLPTrigger
+	if burnIn > opts.MaxNodes {
+		burnIn = opts.MaxNodes
+	}
+	s.maxN = burnIn
+	s.search(covered, coveredW, s.dualUncov0, forced)
+	if !s.capped || s.ctx.Err() != nil || burnIn >= opts.MaxNodes {
+		// Closed, canceled, or the real node budget is exhausted.
+		return s.resultOn(in)
+	}
+
+	// Phase 2 — root strengthening at a deterministic decision point:
+	// a search that survived the burn-in pays one LP solve for a global
+	// lower bound and reduced-cost set bans. The bans are frozen
+	// against the burn-in incumbent before any parallelism starts, so
+	// they cannot leak schedule timing into branch selection.
+	s.capped = false
+	s.lpTried = true
+	if z, dj, ok := rootLP(ctx, s.in, s.target, excluded, forced); ok {
+		s.lpZ, s.lpDj = z, dj
+		if rlb := int(math.Ceil(z - 1e-6)); rlb > s.rootLB {
+			s.rootLB = rlb
+		}
+		s.haveRootLB = s.rootLB >= 1
+		s.banned = make([]bool, len(s.in.Sets))
+		s.refreshBans()
+		if s.bestLen <= s.rootLB {
+			return s.resultOn(in) // burn-in incumbent meets the bound
 		}
 	}
-	final := newBitset(in.NumElements)
-	for _, si := range s.best {
-		for _, e := range in.Sets[si] {
-			if !final.get(e) {
-				final.set(e)
-				res.Covered += in.weight(e)
+	if !opts.NoDualBound && s.lpDj == nil {
+		// Same decision point, for the instances the LP row cap turned
+		// away: a subgradient climb replaces the cheap alternation duals
+		// with a near-LP-strength frozen (φ, λ) pair. When the LP DID
+		// solve, its optimum dominates every Lagrangian value, so the
+		// climb could only waste the time it costs.
+		s.strengthenDualBound(excluded, covered, coveredW)
+		if s.bestLen <= s.rootLB {
+			return s.resultOn(in)
+		}
+	}
+
+	// Phase 3 — frontier expansion: re-walk the tree serially, cutting
+	// it at a fixed depth into independent subtree tasks. The frontier
+	// depends only on deterministic state (never on worker count), and
+	// a second, deeper pass splits further when the first one yields
+	// too few tasks to balance.
+	s.maxN = opts.MaxNodes
+	for _, d := range []int{frontierDepth, frontierDepth + 4} {
+		s.tasks, s.frontierDepth, s.depth = nil, d, 0
+		s.search(covered, coveredW, s.dualUncov0, forced)
+		if s.capped || s.doneOptimal || s.ctx.Err() != nil || len(s.tasks) >= frontierMinTasks {
+			break
+		}
+	}
+	s.frontierDepth = -1
+	if len(s.tasks) == 0 || s.capped || s.doneOptimal || s.ctx.Err() != nil {
+		// The depth-limited walk closed (or capped) the search itself.
+		return s.resultOn(in)
+	}
+
+	// Phase 4 — parallel subtree search with deterministic merge.
+	s.runSubtrees(workers, opts.MaxNodes)
+	return s.resultOn(in)
+}
+
+// frontierDepth is the branching depth at which the tree is cut into
+// subtree tasks; frontierMinTasks is the task count under which a
+// second, deeper expansion pass is attempted. Both are worker-count
+// independent: the frontier (and hence the merge) must not change with
+// parallelism.
+const (
+	frontierDepth    = 6
+	frontierMinTasks = 16
+	minTaskBudget    = 2048
+)
+
+// presolve runs the kernelization fixpoint over the classical set-cover
+// reductions: dominated sets are excluded (always), and for full covers
+// dominated elements are dropped and unique-coverer sets forced in,
+// until a round changes nothing. Each rule can enable the others —
+// forcing a set covers elements, which shrinks residual coverages,
+// which creates new dominations — so a single pass (the historical
+// behaviour) leaves kernel left on the table. excluded and covered are
+// mutated in place; s.in/s.target are rebound as elements drop; the
+// forced set indices are returned in deterministic discovery order.
+func (s *exactSearch) presolve(excluded []bool, covered bitset, fullCover bool) []int {
+	var forced []int
+	inForced := make([]bool, len(s.in.Sets))
+	for {
+		changed := excludeDominatedSets(s.in, excluded, covered)
+		if fullCover {
+			if reduced, reducedTarget, ch := dropDominatedElements(s.in, excluded, covered); ch {
+				s.in, s.target = reduced, reducedTarget
+				changed = true
+			}
+			if forceUniqueCoverers(s.in, excluded, covered, inForced, &forced) {
+				changed = true
+			}
+		}
+		if !changed {
+			return forced
+		}
+	}
+}
+
+// excludeDominatedSets marks sets whose residual coverage (positive-
+// weight, not-yet-covered elements) is contained in another set's (ties
+// broken towards lower indices). Dropping them is sound for any
+// (partial) cover: the dominating set can always replace the dominated
+// one without losing covered weight. Reports whether any new set was
+// excluded.
+func excludeDominatedSets(in Instance, excluded []bool, covered bitset) bool {
+	n := len(in.Sets)
+	masks := make([]bitset, n)
+	for i, s := range in.Sets {
+		if excluded[i] {
+			continue
+		}
+		masks[i] = newBitset(in.NumElements)
+		for _, e := range s {
+			if !covered.get(e) && in.weight(e) > 0 {
+				masks[i].set(e)
 			}
 		}
 	}
-	return res
-}
-
-// excludeDominatedSets marks sets whose element set is contained in
-// another set's (ties broken towards lower indices). Dropping them is
-// sound for any (partial) cover: the dominating set can always replace
-// the dominated one without losing coverage.
-func excludeDominatedSets(in Instance) []bool {
-	n := len(in.Sets)
-	excluded := make([]bool, n)
-	masks := make([]bitset, n)
-	for i, s := range in.Sets {
-		masks[i] = newBitset(in.NumElements)
-		for _, e := range s {
-			masks[i].set(e)
-		}
-	}
+	changed := false
 	for i := 0; i < n; i++ {
 		if excluded[i] {
 			continue
 		}
 		for j := 0; j < n; j++ {
-			if i == j || excluded[j] {
+			if i == j || excluded[j] || masks[j] == nil {
 				continue
 			}
 			if masks[i].subsetOf(masks[j]) {
@@ -306,11 +468,12 @@ func excludeDominatedSets(in Instance) []bool {
 					continue
 				}
 				excluded[i] = true
+				changed = true
 				break
 			}
 		}
 	}
-	return excluded
+	return changed
 }
 
 // dropDominatedElements (full cover only) removes elements whose
@@ -320,7 +483,15 @@ func excludeDominatedSets(in Instance) []bool {
 // elements' weights and shrinking the target to the remaining total —
 // reaching the new target then requires covering exactly the remaining
 // elements, and dominance implies the dropped ones come along for free.
-func dropDominatedElements(in Instance, excluded []bool) (Instance, float64) {
+// Both sides of the rule are restricted to still-uncovered positive-
+// weight elements: the argument needs the dominator to be an element
+// the search is still obligated to cover through a LIVE set — an
+// already-covered element owes nothing (its forced coverer may itself
+// be excluded, leaving it an empty coverer list that would vacuously
+// "dominate" everything). Reports whether the call dropped any element
+// that still had positive weight (so the presolve fixpoint can iterate
+// to quiescence).
+func dropDominatedElements(in Instance, excluded []bool, covered bitset) (Instance, float64, bool) {
 	coverers := make([]bitset, in.NumElements)
 	for e := range coverers {
 		coverers[e] = newBitset(len(in.Sets))
@@ -333,13 +504,14 @@ func dropDominatedElements(in Instance, excluded []bool) (Instance, float64) {
 			coverers[e].set(si)
 		}
 	}
+	live := func(e int) bool { return !covered.get(e) && !lp.StructZero(in.weight(e)) }
 	drop := make([]bool, in.NumElements)
 	for u := 0; u < in.NumElements; u++ {
-		if drop[u] {
+		if drop[u] || !live(u) {
 			continue
 		}
 		for v := 0; v < in.NumElements; v++ {
-			if u == v || drop[v] {
+			if u == v || drop[v] || !live(v) {
 				continue
 			}
 			if coverers[v].subsetOf(coverers[u]) {
@@ -353,20 +525,26 @@ func dropDominatedElements(in Instance, excluded []bool) (Instance, float64) {
 	}
 	weights := make([]float64, in.NumElements)
 	target := 0.0
+	changed := false
 	for e := 0; e < in.NumElements; e++ {
 		if drop[e] {
+			if !lp.StructZero(in.weight(e)) {
+				changed = true
+			}
 			continue
 		}
 		weights[e] = in.weight(e)
 		target += weights[e]
 	}
-	return Instance{NumElements: in.NumElements, Weights: weights, Sets: in.Sets}, target
+	return Instance{NumElements: in.NumElements, Weights: weights, Sets: in.Sets}, target, changed
 }
 
 // forceUniqueCoverers (full cover only) repeatedly includes sets that
 // are the sole remaining coverer of some element, marking the elements
-// they cover. Returns the forced set indices.
-func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
+// they cover. Newly forced indices are appended to *forced (inForced
+// carries the already-forced flags across presolve rounds); reports
+// whether anything new was forced.
+func forceUniqueCoverers(in Instance, excluded []bool, covered bitset, inForced []bool, forced *[]int) bool {
 	coverers := make([][]int, in.NumElements)
 	for si, s := range in.Sets {
 		if excluded[si] {
@@ -376,8 +554,7 @@ func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
 			coverers[e] = append(coverers[e], si)
 		}
 	}
-	var forced []int
-	inForced := make([]bool, len(in.Sets))
+	any := false
 	for changed := true; changed; {
 		changed = false
 		for e := 0; e < in.NumElements; e++ {
@@ -388,22 +565,24 @@ func forceUniqueCoverers(in Instance, excluded []bool, covered bitset) []int {
 				si := coverers[e][0]
 				if !inForced[si] {
 					inForced[si] = true
-					forced = append(forced, si)
+					*forced = append(*forced, si)
 					for _, e2 := range in.Sets[si] {
 						covered.set(e2)
 					}
 					changed = true
+					any = true
 				}
 			}
 		}
 	}
-	return forced
+	return any
 }
 
 type exactSearch struct {
 	ctx     context.Context
 	in      Instance
 	target  float64
+	tol     float64 // coverTol(target), shared by every phase and task
 	best    []int
 	bestLen int
 	nodes   int
@@ -411,22 +590,65 @@ type exactSearch struct {
 	capped  bool
 
 	// Root LP strengthening state (the set-cover face of the MIP
-	// pipeline, see DESIGN.md §4). The LP is lazy: only a search that
-	// passes coverLPTrigger nodes pays for the solve (lpTried). lpZ is
+	// pipeline, see DESIGN.md §4). The LP is paid at most once, at the
+	// deterministic burn-in → parallel phase boundary (lpTried). lpZ is
 	// the relaxation objective, lpDj the per-set reduced costs (nil
-	// when the LP was skipped or failed), rootLB = ceil(lpZ) the
-	// global lower bound, banned the sets excluded by reduced cost
-	// against the current incumbent, and doneOptimal flips when the
-	// incumbent meets rootLB (the rest of the tree cannot improve and
-	// the search stops, still exact).
+	// when the LP was skipped or failed), rootLB the best global lower
+	// bound (ceil of the LP objective or the root dual-ascent value,
+	// haveRootLB when meaningful), banned the sets excluded by reduced
+	// cost against the current incumbent, and doneOptimal flips when
+	// the incumbent meets rootLB (the rest of the tree cannot improve
+	// and the search stops, still exact).
 	lpTried      bool
 	lpZ          float64
 	lpDj         []float64
 	rootLB       int
+	haveRootLB   bool
 	banned       []bool
 	doneOptimal  bool
 	rootExcluded []bool
 	forced       []int
+
+	// Frozen root dual-ascent bound state (dual.go): dualPhi[e] is the
+	// per-element penalty max(0, λ·w_e − y_e) of a feasible dual (y, λ)
+	// of the partial-cover LP, dualLambda the multiplier, dualUncov0
+	// the penalty sum over the root's uncovered elements. The per-node
+	// bound is ⌈λ·(target − coveredW) − Σ_{e uncovered} dualPhi[e]⌉,
+	// maintained in O(1) per covered element. nil dualPhi = bound off.
+	dualPhi    []float64
+	dualLambda float64
+	dualUncov0 float64
+
+	// In-search dominance state: setMasks[si] is set si's positive-
+	// weight element bitmap (nil = dominance off or set root-excluded);
+	// domPrunes counts the sets the exclude-branch dominance rule
+	// dropped.
+	setMasks  []bitset
+	domPrunes int
+
+	// Frontier expansion state: with frontierDepth >= 0 the search
+	// stops descending at that branching depth and snapshots the node
+	// as an independent subtree task instead (parallel.go). depth is
+	// the current branching depth; tasks collects the frontier in DFS
+	// (= task index) order.
+	frontierDepth int
+	depth         int
+	tasks         []*coverTask
+
+	// Parallel subtree coordination (task clones only): pubG is the
+	// shared atomic incumbent length — improvements are published
+	// immediately, but it is read ONLY for the whole-subtree abort
+	// taskLB > pubG (any solution in this subtree is provably no
+	// better than a published one, so dropping the subtree cannot
+	// change the deterministic merge; see DESIGN.md §4a). aborted
+	// unwinds the task like capped but without voiding exactness.
+	pubG    *atomicMin
+	taskLB  int
+	aborted bool
+
+	// Counters reported by the parallel phase (root search only).
+	subtreeTasks int
+	steals       int
 
 	// Disjoint-elements bound state (full covers only): per-element
 	// covering-set bitmaps in a processing order of increasing coverer
@@ -453,20 +675,32 @@ type exactSearch struct {
 
 // prepareGains builds the per-element coverer lists and the initial
 // residual gains (everything after the root reductions and forced
-// inclusions).
-func (s *exactSearch) prepareGains(covered bitset, excluded []bool) {
+// inclusions). With masks it also builds the per-set positive-weight
+// element bitmaps the in-search dominance rule tests containment on.
+func (s *exactSearch) prepareGains(covered bitset, excluded []bool, masks bool) {
 	n := s.in.NumElements
 	s.elemSets = make([][]int32, n)
 	s.gains = make([]float64, len(s.in.Sets))
+	if masks {
+		s.setMasks = make([]bitset, len(s.in.Sets))
+	}
 	for si, set := range s.in.Sets {
 		if excluded[si] {
 			continue
+		}
+		var m bitset
+		if masks {
+			m = newBitset(n)
+			s.setMasks[si] = m
 		}
 		g := 0.0
 		for _, e := range set {
 			s.elemSets[e] = append(s.elemSets[e], int32(si))
 			if !covered.get(e) {
 				g += s.in.weight(e)
+			}
+			if m != nil && s.in.weight(e) > 0 {
+				m.set(e)
 			}
 		}
 		s.gains[si] = g
@@ -574,12 +808,15 @@ func (s *exactSearch) disjointBound(enough int) int {
 // have more element rows than this: on the paper's large partial-cover
 // instances the covering LP is both degenerate (tens of thousands of
 // pivots) and weak (a structural integrality gap), so it cannot pay
-// for itself. coverLPTrigger makes the LP lazy — only searches that
-// already burned that many nodes buy the bound.
+// for itself. coverLPTrigger keeps the LP lazy — only searches that
+// survive that many serial burn-in nodes buy the bound.
 const rootLPRowCap = 300
 
-// coverLPTrigger is a var only so the test suite can force the lazy LP
-// on tiny searches; production code never writes it.
+// coverLPTrigger is the serial burn-in node budget: searches that close
+// within it never pay for the root LP, the frontier expansion, or the
+// parallel machinery. A var only so the test suite can force the
+// strengthened phases on tiny searches (or disable them); production
+// code never writes it.
 var coverLPTrigger = 2048
 
 // isBanned reports whether reduced-cost fixing excluded the set.
@@ -722,45 +959,52 @@ func mergeSignatures(in Instance, target float64) (Instance, float64) {
 // needed to cover `remaining` weight (pretending sets never overlap —
 // optimistic, hence valid) and the branching set (largest residual
 // gain; -1 when none is usable). Selection stops at maxUseful — the
-// caller's prune test needs nothing sharper. Cheap one-pass outcomes
-// (one set suffices / the target is unreachable) skip the selection
-// entirely; otherwise the top gains are extracted by repeated maxima
-// when few are needed and by one descending insertion sort when many
-// are.
+// caller's prune test needs nothing sharper — so the scan keeps only
+// the maxUseful largest gains in one descending insertion buffer
+// (inserts trigger only on gains beating the buffer's minimum, so the
+// common cost is the plain scan, not maxUseful extraction passes).
 func (s *exactSearch) boundAndBranch(remaining float64, maxUseful int) (int, int) {
+	k := maxUseful
+	if k < 1 {
+		k = 1
+	}
 	buf := s.scratch[:0]
+	banned := s.banned
 	branch := -1
 	g1, sum := 0.0, 0.0
-	if s.banned == nil {
-		for si, g := range s.gains {
-			if g > 0 {
-				buf = append(buf, g)
-				sum += g
-				if g > g1 {
-					g1 = g
-					branch = si
-				}
-			}
+	for si, g := range s.gains {
+		if g <= 0 || (banned != nil && banned[si]) {
+			continue
 		}
-	} else {
-		for si, g := range s.gains {
-			if g > 0 && !s.banned[si] {
-				buf = append(buf, g)
-				sum += g
-				if g > g1 {
-					g1 = g
-					branch = si
-				}
+		sum += g
+		if g > g1 {
+			g1 = g
+			branch = si
+		}
+		if n := len(buf); n < k {
+			buf = append(buf, g)
+			j := n
+			for j > 0 && buf[j-1] < g {
+				buf[j] = buf[j-1]
+				j--
 			}
+			buf[j] = g
+		} else if g > buf[k-1] {
+			j := k - 1
+			for j > 0 && buf[j-1] < g {
+				buf[j] = buf[j-1]
+				j--
+			}
+			buf[j] = g
 		}
 	}
 	s.scratch = buf
 	switch {
-	case remaining <= 1e-12:
+	case remaining <= s.tol:
 		return 0, branch
 	case remaining <= g1:
 		return 1, branch
-	case sum < remaining-1e-12:
+	case sum < remaining-s.tol:
 		// Tolerance matches the incumbent acceptance test: a node whose
 		// total residual gain is within float drift of the target is
 		// still completable, not infeasible.
@@ -775,54 +1019,21 @@ func (s *exactSearch) boundAndBranch(remaining float64, maxUseful int) (int, int
 		// remaining/g1 more sets are needed — already enough to prune.
 		return maxUseful, branch
 	}
-	if maxUseful*4 < len(buf) {
-		// Few selections needed: repeated max extraction is cheaper
-		// than sorting the whole candidate list.
-		need := 0
-		for {
-			if need >= maxUseful {
-				return maxUseful, branch
-			}
-			mi := 0
-			for i := 1; i < len(buf); i++ {
-				if buf[i] > buf[mi] {
-					mi = i
-				}
-			}
-			remaining -= buf[mi]
-			need++
-			if remaining <= 1e-12 {
-				return need, branch
-			}
-			buf[mi] = buf[len(buf)-1]
-			buf = buf[:len(buf)-1]
-		}
-	}
-	for i := 1; i < len(buf); i++ {
-		v := buf[i]
-		j := i - 1
-		for j >= 0 && buf[j] < v {
-			buf[j+1] = buf[j]
-			j--
-		}
-		buf[j+1] = v
-	}
 	need := 0
 	for _, g := range buf {
-		if need >= maxUseful {
-			return maxUseful, branch
-		}
 		remaining -= g
 		need++
-		if remaining <= 1e-12 {
+		if remaining <= s.tol {
 			return need, branch
 		}
 	}
-	return math.MaxInt32, branch
+	// The maxUseful largest gains (or every positive gain) do not reach
+	// the target: at least len(buf) more sets are needed.
+	return len(buf), branch
 }
 
-func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int) {
-	if s.capped || s.doneOptimal {
+func (s *exactSearch) search(covered bitset, coveredW, dualUncov float64, chosen []int) {
+	if s.capped || s.doneOptimal || s.aborted {
 		return
 	}
 	s.nodes++
@@ -832,38 +1043,38 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int) {
 	}
 	// Poll the context every 1024 nodes; a fired context stops the
 	// search exactly like an exhausted node budget (incumbent kept).
-	if s.nodes&1023 == 0 && s.ctx.Err() != nil {
-		s.capped = true
-		return
-	}
-	// Lazy root-LP strengthening: a search that proved nontrivial pays
-	// one LP solve for a global lower bound (stop as soon as any
-	// incumbent meets it, proven optimal) and reduced-cost set bans.
-	if !s.lpTried && s.nodes >= coverLPTrigger {
-		s.lpTried = true
-		if z, dj, ok := rootLP(s.ctx, s.in, s.target, s.rootExcluded, s.forced); ok {
-			s.lpZ, s.lpDj = z, dj
-			s.rootLB = int(math.Ceil(z - 1e-6))
-			s.banned = make([]bool, len(s.in.Sets))
-			s.refreshBans()
-			if s.bestLen <= s.rootLB {
-				s.doneOptimal = true
-				return
-			}
+	// Subtree tasks also poll the shared incumbent here: when this
+	// task's static root bound proves it cannot beat a published cover,
+	// the whole subtree is dropped (a proof, not a cap — the merge is
+	// unchanged because everything in here loses it anyway).
+	if s.nodes&1023 == 0 {
+		if s.ctx.Err() != nil {
+			s.capped = true
+			return
+		}
+		if s.pubG != nil && int64(s.taskLB) > s.pubG.load() {
+			s.aborted = true
+			return
 		}
 	}
-	if coveredW >= s.target-1e-12 {
+	if coveredW >= s.target-s.tol {
 		if len(chosen) < s.bestLen {
 			s.bestLen = len(chosen)
 			s.best = append([]int(nil), chosen...)
+			if s.pubG != nil {
+				// Publish immediately so sibling subtrees can abort.
+				s.pubG.publish(int64(s.bestLen))
+			}
+			if s.haveRootLB && s.bestLen <= s.rootLB {
+				// An incumbent at the root bound is proven optimal:
+				// stop the whole (sub)search.
+				s.doneOptimal = true
+				return
+			}
 			if s.lpDj != nil {
-				// An incumbent at the LP bound is proven optimal: stop
-				// the whole search. Otherwise tighten the reduced-cost
-				// exclusions against the improved cutoff.
-				if s.bestLen <= s.rootLB {
-					s.doneOptimal = true
-					return
-				}
+				// Tighten the reduced-cost exclusions against the
+				// improved cutoff (task-local: bans derive only from
+				// this search's own deterministic incumbent).
 				s.refreshBans()
 			}
 		}
@@ -881,37 +1092,105 @@ func (s *exactSearch) search(covered bitset, coveredW float64, chosen []int) {
 	if len(chosen)+lb >= s.bestLen {
 		return
 	}
+	// The Lagrangian dual-ascent bound is O(1) per node: the frozen
+	// root duals priced against the remaining target.
+	if s.dualPhi != nil {
+		if dlb := s.dualLB(coveredW, dualUncov); dlb > lb {
+			lb = dlb
+			if len(chosen)+lb >= s.bestLen {
+				return
+			}
+		}
+	}
 	// The disjoint-family bound is the costlier one: only consult it on
-	// nodes the additive bound failed to prune, and only until it
+	// nodes the cheap bounds failed to prune, and only until it
 	// reaches pruning strength.
 	if s.elemOrder != nil {
-		if db := s.disjointBound(s.bestLen - len(chosen)); len(chosen)+db >= s.bestLen {
-			return
+		if db := s.disjointBound(s.bestLen - len(chosen)); db > lb {
+			lb = db
+			if len(chosen)+lb >= s.bestLen {
+				return
+			}
 		}
 	}
 	if branch < 0 {
 		return // nothing left to add
 	}
+	// Frontier cut: instead of descending, snapshot this node as an
+	// independent subtree task. lb is the sharpest bound the node was
+	// scanned with — the task's static abort certificate.
+	if s.frontierDepth >= 0 && s.depth >= s.frontierDepth {
+		s.snapshotTask(covered, coveredW, dualUncov, chosen, len(chosen)+lb)
+		return
+	}
 	// Include branch first: mimics the greedy and finds incumbents fast.
-	s.include(covered, coveredW, chosen, branch)
+	s.include(covered, coveredW, dualUncov, chosen, branch)
 	// Exclude branch: zeroing the set's residual gain removes it from
 	// the bound, the branch selection and the feasibility sum in one
 	// store (root-excluded sets already sit at gain 0 the same way).
 	// Nested includes only ever decrement the gain and their undo
 	// stacks restore it exactly, so the final restore is exact too.
-	saved := s.gains[branch]
+	// Dominance rides along: once the branched set is out, any
+	// candidate whose residual coverage it contains can be swapped for
+	// it, so those are excluded too (and restored from the same undo
+	// stack). Residual-identical sets are the symmetry case: only the
+	// branch-first permutation survives.
+	markT := len(s.undoT)
+	s.undoT = append(s.undoT, int32(branch))
+	s.undoG = append(s.undoG, s.gains[branch])
 	s.gains[branch] = 0
-	s.search(covered, coveredW, chosen)
-	s.gains[branch] = saved
+	if s.setMasks != nil {
+		s.excludeDominatedBy(branch, covered)
+	}
+	s.depth++
+	s.search(covered, coveredW, dualUncov, chosen)
+	s.depth--
+	for i := len(s.undoT) - 1; i >= markT; i-- {
+		s.gains[s.undoT[i]] = s.undoG[i]
+	}
+	s.undoT = s.undoT[:markT]
+	s.undoG = s.undoG[:markT]
+}
+
+// excludeDominatedBy zeroes the gain of every live candidate set whose
+// residual coverage is contained in branch's: in the branch-excluded
+// subtree any cover using such a set can swap it for branch without
+// losing covered weight or cardinality, and that cover lives in the
+// include subtree, which was searched first. The undo entries ride the
+// caller's mark.
+func (s *exactSearch) excludeDominatedBy(branch int, covered bitset) {
+	bm := s.setMasks[branch]
+	for sj := range s.gains {
+		if s.gains[sj] <= 0 || sj == branch || s.isBanned(sj) {
+			continue
+		}
+		jm := s.setMasks[sj]
+		if jm == nil {
+			continue
+		}
+		dominated := true
+		for wi, wv := range jm {
+			if wv&^covered[wi]&^bm[wi] != 0 {
+				dominated = false
+				break
+			}
+		}
+		if dominated {
+			s.undoT = append(s.undoT, int32(sj))
+			s.undoG = append(s.undoG, s.gains[sj])
+			s.gains[sj] = 0
+			s.domPrunes++
+		}
+	}
 }
 
 // include descends into the branch that takes set si. covered and the
 // residual gains are updated in place and restored exactly afterwards
 // (prior gain values are re-installed from the undo stack in reverse,
 // so backtracking never accumulates float drift).
-func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, si int) {
+func (s *exactSearch) include(covered bitset, coveredW, dualUncov float64, chosen []int, si int) {
 	markT, markF := len(s.undoT), len(s.flip)
-	w := coveredW
+	w, du := coveredW, dualUncov
 	for _, e := range s.in.Sets[si] {
 		if covered.get(e) {
 			continue
@@ -925,13 +1204,18 @@ func (s *exactSearch) include(covered bitset, coveredW float64, chosen []int, si
 		s.flip = append(s.flip, int32(e))
 		we := s.in.weight(e)
 		w += we
+		if s.dualPhi != nil {
+			du -= s.dualPhi[e]
+		}
 		for _, t := range s.elemSets[e] {
 			s.undoT = append(s.undoT, t)
 			s.undoG = append(s.undoG, s.gains[t])
 			s.gains[t] -= we
 		}
 	}
-	s.search(covered, w, append(chosen, si))
+	s.depth++
+	s.search(covered, w, du, append(chosen, si))
+	s.depth--
 	for i := len(s.undoT) - 1; i >= markT; i-- {
 		s.gains[s.undoT[i]] = s.undoG[i]
 	}

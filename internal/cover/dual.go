@@ -1,0 +1,492 @@
+package cover
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+)
+
+// This file implements the Lagrangian dual-ascent lower bound of the
+// exact search: a feasible dual solution of the partial-cover LP
+//
+//	min Σ_S x_S   s.t.  Σ_{S∋e} x_S ≥ δ_e,  Σ_e w_e·δ_e ≥ T,
+//	              0 ≤ δ ≤ 1, x ≥ 0
+//
+// is a pair (y, λ) with y_e, λ ≥ 0 and Σ_{e∈S} y_e ≤ 1 for every set S,
+// giving the bound λ·T − Σ_e max(0, λ·w_e − y_e) on the LP optimum and
+// hence on the integer one. The same (y, λ) stays feasible at every
+// search node: branching only removes sets (packing constraints are
+// monotone under set removal) and covering elements only shrinks both
+// the remaining target T′ = T − coveredW and the penalty sum. The
+// per-node bound is therefore
+//
+//	⌈ λ·(target − coveredW) − Σ_{e uncovered} φ_e ⌉,  φ_e = max(0, λw_e − y_e)
+//
+// maintained in O(1) per element flip (include() subtracts φ_e as it
+// covers e), with y raised once by deterministic dual ascent at the
+// root and λ optimized over the breakpoints of the concave piecewise-
+// linear dual objective. Unlike the root LP this costs no pivots, is
+// immune to the rootLPRowCap, and prices every node, not just the root.
+
+// dualAscentRounds bounds the alternating λ-sweep / capped-ascent
+// iterations; the scheme converges (each round keeps the best pair) and
+// the whole loop costs a few instance scans — noise next to one search
+// node budget.
+const dualAscentRounds = 8
+
+// prepareDualBound builds the frozen (φ, λ) state by alternating two
+// exact coordinate steps on the concave dual: given λ, a deterministic
+// ascent raises each y_e towards min(coverer slack, λ·w_e) — the cap
+// matters: past λ·w_e extra y_e buys nothing, so uncapped ascent (the
+// λ-blind first round) burns whole sets on single elements and starves
+// the rest, collapsing the λ sweep to 0 on partial covers. Given y, λ
+// is optimized exactly over the breakpoints r_e = y_e/w_e. The best
+// (y, λ) pair over all rounds is frozen. Deterministic throughout: the
+// ascent processes elements fewest-coverers-first (ties by id), and
+// the λ sweep breaks ties towards the smaller multiplier.
+func (s *exactSearch) prepareDualBound(excluded []bool, covered bitset, coveredW float64) {
+	n := s.in.NumElements
+	nsets := len(s.in.Sets)
+	// Per-element distinct coverer lists over the usable sets.
+	seen := newBitset(nsets)
+	coverers := make([][]int32, n)
+	for si, set := range s.in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range set {
+			coverers[e] = append(coverers[e], int32(si))
+		}
+	}
+	for e := range coverers {
+		cs := coverers[e]
+		out := cs[:0]
+		for i := range seen {
+			seen[i] = 0
+		}
+		for _, si := range cs {
+			if !seen.get(int(si)) {
+				seen.set(int(si))
+				out = append(out, si)
+			}
+		}
+		coverers[e] = out
+	}
+
+	// active = uncovered positive-weight elements (the ones that appear
+	// in T′ and the penalty sum); the ascent additionally needs a
+	// coverer to have a constraint to push against — coverer-less
+	// elements keep y = 0, which makes φ_e = λw_e cancel their target
+	// contribution exactly (they can never be covered, so the bound
+	// must not count on their weight).
+	var active, order []int
+	for e := 0; e < n; e++ {
+		if !covered.get(e) && s.in.weight(e) > 0 {
+			active = append(active, e)
+			if len(coverers[e]) > 0 {
+				order = append(order, e)
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := len(coverers[order[a]]), len(coverers[order[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	remaining := s.target - coveredW
+
+	y := make([]float64, n)
+	slack := make([]float64, nsets)
+	// ascent rebuilds y from zero for the given λ cap (0 = uncapped).
+	ascent := func(lambda float64) {
+		for e := range y {
+			y[e] = 0
+		}
+		for si := range slack {
+			slack[si] = 0
+			if !excluded[si] {
+				slack[si] = 1
+			}
+		}
+		for pass := 0; pass < 2; pass++ {
+			for _, e := range order {
+				m := math.Inf(1)
+				for _, si := range coverers[e] {
+					if slack[si] < m {
+						m = slack[si]
+					}
+				}
+				if lambda > 0 {
+					if room := lambda*s.in.weight(e) - y[e]; room < m {
+						m = room
+					}
+				}
+				if m <= 1e-12 {
+					continue
+				}
+				y[e] += m
+				for _, si := range coverers[e] {
+					slack[si] -= m
+				}
+			}
+		}
+	}
+	// sweep optimizes λ exactly for the current y: the dual objective
+	// D(λ) = λT′ − Σ max(0, λw_e − y_e) is concave piecewise-linear
+	// with slope T′ − Σ_{e: r_e < λ} w_e, so its maximum sits at the
+	// smallest breakpoint r_e = y_e/w_e whose prefix weight reaches T′
+	// (feasibility guarantees the total uncovered weight does).
+	bps := make([]struct{ r, w float64 }, 0, len(active))
+	sweep := func() (float64, float64) {
+		bps = bps[:0]
+		for _, e := range active {
+			w := s.in.weight(e)
+			bps = append(bps, struct{ r, w float64 }{r: y[e] / w, w: w})
+		}
+		sort.Slice(bps, func(a, b int) bool { return bps[a].r < bps[b].r })
+		lambda, acc := 0.0, 0.0
+		for _, b := range bps {
+			lambda = b.r
+			acc += b.w
+			if acc >= remaining-1e-9 {
+				break
+			}
+		}
+		val := lambda * remaining
+		for _, e := range active {
+			if p := lambda*s.in.weight(e) - y[e]; p > 0 {
+				val -= p
+			}
+		}
+		return lambda, val
+	}
+
+	// lam0 is the uniform multiplier: the λ at which the total capped
+	// demand Σ λ·w_e·|coverers(e)| equals the total set slack, i.e. the
+	// scale where a capped ascent can hand every element its full cap.
+	// It anchors the alternation (and re-anchors it whenever a sweep
+	// degenerates to 0 — on partial covers the slack allowance swallows
+	// every zero-y breakpoint of an ascent that starved the tail).
+	demand := 0.0
+	liveSets := 0.0
+	for si := range slack {
+		if !excluded[si] {
+			liveSets++
+		}
+	}
+	for _, e := range order {
+		demand += s.in.weight(e) * float64(len(coverers[e]))
+	}
+	lam0 := 0.0
+	if demand > 0 {
+		lam0 = liveSets / demand
+	}
+
+	var bestY []float64
+	bestLambda, bestVal := 0.0, 0.0
+	lambda := 0.0
+	for round := 0; round < dualAscentRounds; round++ {
+		ascent(lambda)
+		var val float64
+		lambda, val = sweep()
+		if val > bestVal && lambda > 0 {
+			bestVal = val
+			bestLambda = lambda
+			bestY = append(bestY[:0], y...)
+		}
+		if lambda <= 0 {
+			if lam0 <= 0 {
+				break
+			}
+			// Degenerate sweep: re-anchor at a multiple of the uniform
+			// scale (escalating across rounds so repeated degeneracies
+			// explore upwards instead of looping).
+			lambda = lam0 * float64(int(1)<<uint(round))
+		}
+	}
+	if bestLambda <= 0 || bestVal <= 0 {
+		return
+	}
+
+	phi := make([]float64, n)
+	rootVal := bestLambda * remaining
+	du0 := 0.0
+	for _, e := range active {
+		if p := bestLambda*s.in.weight(e) - bestY[e]; p > 0 {
+			phi[e] = p
+			du0 += p
+		}
+	}
+	rootVal -= du0
+	s.dualPhi, s.dualLambda, s.dualUncov0 = phi, bestLambda, du0
+	// rootLB bounds the TOTAL cover size; the dual prices only the
+	// residual after presolve, and the forced sets are in every cover.
+	if rlb := int(math.Ceil(rootVal-1e-6)) + len(s.forced); rlb > s.rootLB {
+		s.rootLB = rlb
+	}
+	s.haveRootLB = s.rootLB >= 1
+}
+
+// Subgradient schedule of strengthenDualBound. The iteration count is
+// fixed (determinism: the phase must not depend on wall clock), the
+// step size follows the Polyak rule t = α(UB − W)/‖g‖² against the
+// incumbent, α halves after subgradPatience non-improving steps, and
+// the packing projection + λ-sweep snapshot runs every subgradCheck
+// iterations (projection costs about as much as one iteration).
+const (
+	subgradIters    = 96
+	subgradCheck    = 16
+	subgradPatience = 12
+)
+
+// strengthenDualBound runs a projected-subgradient phase on the
+// Lagrangian relaxation that prices the COVERAGE constraints instead
+// of the packing ones:
+//
+//	L(y) = Σ_S min(0, 1 − Σ_{e∈S} y_e) + min{ Σ_e y_e δ_e : Σ w_e δ_e ≥ T′, 0 ≤ δ ≤ 1 }
+//
+// for y ≥ 0 over the uncovered elements. L(y) lower-bounds the LP
+// optimum for EVERY y, the inner minimum is a fractional knapsack
+// (fill cheapest ratio y_e/w_e first), and the supergradient is
+// δ_e − #{S ∋ e : Σ y > 1}. This climbs much closer to the LP optimum
+// than the capped alternation in prepareDualBound, whose ascent order
+// is greedy. The climb itself is NOT packing-feasible, so every
+// snapshot is projected (divide each y_e by the largest violation of
+// a set containing e — the projected vector is feasible for every
+// packing row) and swept for the exact λ, yielding a frozen (φ, λ)
+// pair in the same O(1)-per-node form as prepareDualBound; the best
+// snapshot wins. Runs at the deterministic burn-in boundary only:
+// searches that close within the burn-in never pay for it.
+func (s *exactSearch) strengthenDualBound(excluded []bool, covered bitset, coveredW float64) {
+	n := s.in.NumElements
+	nsets := len(s.in.Sets)
+	remaining := s.target - coveredW
+	if remaining <= 1e-9 {
+		return
+	}
+
+	// Deduped per-element coverer lists over the usable sets, and the
+	// inverse per-set active-element lists (covered elements have no
+	// residual constraint, so they carry no multiplier).
+	seen := newBitset(nsets)
+	coverers := make([][]int32, n)
+	for si, set := range s.in.Sets {
+		if excluded[si] {
+			continue
+		}
+		for _, e := range set {
+			coverers[e] = append(coverers[e], int32(si))
+		}
+	}
+	var active []int32
+	for e := 0; e < n; e++ {
+		if covered.get(e) || s.in.weight(e) <= 0 {
+			continue
+		}
+		active = append(active, int32(e))
+		cs := coverers[e]
+		out := cs[:0]
+		for i := range seen {
+			seen[i] = 0
+		}
+		for _, si := range cs {
+			if !seen.get(int(si)) {
+				seen.set(int(si))
+				out = append(out, si)
+			}
+		}
+		coverers[e] = out
+	}
+	if len(active) == 0 {
+		return
+	}
+	setElems := make([][]int32, nsets)
+	for _, e := range active {
+		for _, si := range coverers[e] {
+			setElems[si] = append(setElems[si], e)
+		}
+	}
+
+	y := make([]float64, n)
+	grad := make([]float64, n)
+	vset := make([]float64, nsets)
+	yp := make([]float64, n)
+	type bp struct {
+		r, w float64
+		e    int32
+	}
+	bps := make([]bp, len(active))
+
+	// evaluate computes W = L(y) and fills grad with a supergradient.
+	evaluate := func() float64 {
+		for _, e := range active {
+			grad[e] = 0
+		}
+		W := 0.0
+		for si := range setElems {
+			es := setElems[si]
+			if len(es) == 0 {
+				continue
+			}
+			v := 0.0
+			for _, e := range es {
+				v += y[e]
+			}
+			vset[si] = v
+			if v > 1 {
+				W += 1 - v
+				for _, e := range es {
+					grad[e]--
+				}
+			}
+		}
+		for i, e := range active {
+			w := s.in.weight(int(e))
+			bps[i] = bp{r: y[e] / w, w: w, e: e}
+		}
+		sort.Slice(bps, func(a, b int) bool {
+			if !lp.ExactEq(bps[a].r, bps[b].r) {
+				return bps[a].r < bps[b].r
+			}
+			return bps[a].e < bps[b].e
+		})
+		left := remaining
+		for _, b := range bps {
+			if left <= 1e-9 {
+				break
+			}
+			take := b.w
+			if take > left {
+				take = left
+			}
+			frac := take / b.w
+			grad[b.e] += frac
+			W += b.r * take
+			left -= take
+		}
+		return W
+	}
+
+	// snapshot projects y onto the packing polytope, sweeps the exact
+	// λ, and returns the frozen-form dual value with its (yp, λ) pair.
+	snapshot := func() (float64, float64) {
+		for _, e := range active {
+			d := 1.0
+			for _, si := range coverers[e] {
+				if vset[si] > d {
+					d = vset[si]
+				}
+			}
+			yp[e] = y[e] / d
+		}
+		for i, e := range active {
+			w := s.in.weight(int(e))
+			bps[i] = bp{r: yp[e] / w, w: w, e: e}
+		}
+		sort.Slice(bps, func(a, b int) bool {
+			if !lp.ExactEq(bps[a].r, bps[b].r) {
+				return bps[a].r < bps[b].r
+			}
+			return bps[a].e < bps[b].e
+		})
+		lambda, acc := 0.0, 0.0
+		for _, b := range bps {
+			lambda = b.r
+			acc += b.w
+			if acc >= remaining-1e-9 {
+				break
+			}
+		}
+		val := lambda * remaining
+		for _, e := range active {
+			if p := lambda*s.in.weight(int(e)) - yp[e]; p > 0 {
+				val -= p
+			}
+		}
+		return lambda, val
+	}
+
+	ub := float64(s.bestLen)
+	curVal := 0.0
+	if s.dualPhi != nil {
+		curVal = s.dualLambda*remaining - s.dualUncov0
+	}
+	bestVal, bestLambda := curVal, 0.0
+	var bestY []float64
+
+	alpha, maxW, stall := 2.0, math.Inf(-1), 0
+	for it := 0; it < subgradIters; it++ {
+		W := evaluate()
+		if W > maxW+1e-9 {
+			maxW, stall = W, 0
+		} else if stall++; stall >= subgradPatience {
+			alpha, stall = alpha/2, 0
+		}
+		if it%subgradCheck == subgradCheck-1 || it == subgradIters-1 {
+			if lambda, val := snapshot(); val > bestVal && lambda > 0 {
+				bestVal, bestLambda = val, lambda
+				bestY = append(bestY[:0], yp...)
+			}
+		}
+		if W >= ub-1e-9 {
+			break // the relaxation already matches the incumbent
+		}
+		norm := 0.0
+		for _, e := range active {
+			norm += grad[e] * grad[e]
+		}
+		if norm <= 1e-18 {
+			break
+		}
+		t := alpha * (ub - W) / norm
+		for _, e := range active {
+			if v := y[e] + t*grad[e]; v > 0 {
+				y[e] = v
+			} else {
+				y[e] = 0
+			}
+		}
+	}
+	// The unprojected Lagrangian value maxW is itself a valid lower
+	// bound on the residual LP optimum — the x-term prices packing
+	// violations — so the ROOT bound takes it directly (plus the
+	// forced sets, which are in every cover); only the per-node
+	// frozen form needs the (lossier) projected pair.
+	if rlb := int(math.Ceil(maxW-1e-6)) + len(s.forced); rlb > s.rootLB {
+		s.rootLB = rlb
+		s.haveRootLB = true
+	}
+	if bestLambda <= 0 || bestVal <= curVal {
+		return
+	}
+
+	phi := make([]float64, n)
+	du0 := 0.0
+	for _, e := range active {
+		if p := bestLambda*s.in.weight(int(e)) - bestY[e]; p > 0 {
+			phi[e] = p
+			du0 += p
+		}
+	}
+	s.dualPhi, s.dualLambda, s.dualUncov0 = phi, bestLambda, du0
+	rootVal := bestLambda*remaining - du0
+	if rlb := int(math.Ceil(rootVal-1e-6)) + len(s.forced); rlb > s.rootLB {
+		s.rootLB = rlb
+	}
+	s.haveRootLB = s.rootLB >= 1
+}
+
+// dualLB prices the current node against the frozen root duals.
+// dualUncov is the incrementally-maintained Σ φ_e over the still-
+// uncovered elements; the 1e-6 slack absorbs its float drift (exactly
+// like the LP bound's ceiling).
+func (s *exactSearch) dualLB(coveredW, dualUncov float64) int {
+	v := s.dualLambda*(s.target-coveredW) - dualUncov
+	if v <= 0 {
+		return 0
+	}
+	return int(math.Ceil(v - 1e-6))
+}

@@ -82,6 +82,9 @@ func (r *Runner) AddStats(st core.SolveStats) {
 	r.stats.VarsFixed += st.VarsFixed
 	r.stats.PresolveRemoved += st.PresolveRemoved
 	r.stats.StrongBranches += st.StrongBranches
+	r.stats.SubtreeTasks += st.SubtreeTasks
+	r.stats.Steals += st.Steals
+	r.stats.DominancePrunes += st.DominancePrunes
 	r.mu.Unlock()
 }
 
@@ -159,8 +162,38 @@ func (u *uncachedValue) Error() string { return "engine: value degraded by cance
 // context, so every cell still reports a (degraded) value and the merged
 // series stays complete, exactly like the serial path.
 func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	res, _, err := mapOn(ctx, r, n, func(ctx context.Context, i, _ int) (T, error) {
+		return fn(ctx, i)
+	})
+	return res, err
+}
+
+// TreeStats reports the scheduling counters of one MapTree call.
+type TreeStats struct {
+	// Tasks is the number of tasks that completed successfully.
+	Tasks int
+	// Steals counts tasks executed by a worker other than their
+	// round-robin home (task i's home is worker i % workers): the
+	// load-balancing traffic of the shared task queue. Always 0 on a
+	// single worker.
+	Steals int
+}
+
+// MapTree is Map for tree-search fan-out: fn additionally receives the
+// executing worker's index (0..Workers-1) and the call reports
+// scheduling counters — how many subtree tasks completed and how many
+// were "stolen" (run by a worker other than the task's round-robin
+// home). Ordering, error, panic, and cancellation semantics are
+// identical to Map, so merges over the results stay byte-identical for
+// any worker count.
+func MapTree[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i, worker int) (T, error)) ([]T, TreeStats, error) {
+	return mapOn(ctx, r, n, fn)
+}
+
+// mapOn is the shared bounded worker loop behind Map and MapTree.
+func mapOn[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i, worker int) (T, error)) ([]T, TreeStats, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, TreeStats{}, nil
 	}
 	w := r.workers
 	if w > n {
@@ -169,7 +202,7 @@ func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Conte
 	results := make([]T, n)
 	errs := make([]error, n)
 	panics := make([]*TaskPanic, n)
-	var next, failed atomic.Int64
+	var next, failed, done, stolen atomic.Int64
 	failed.Store(int64(n))
 	// recordFailure keeps the lowest failing index.
 	recordFailure := func(i int) {
@@ -183,7 +216,7 @@ func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Conte
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -195,7 +228,7 @@ func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Conte
 					// would be discarded anyway.
 					continue
 				}
-				res, err, pan := runTask(ctx, i, fn)
+				res, err, pan := runTask(ctx, i, worker, fn)
 				switch {
 				case pan != nil:
 					panics[i] = pan
@@ -205,19 +238,24 @@ func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Conte
 					recordFailure(i)
 				default:
 					results[i] = res
+					done.Add(1)
+					if i%w != worker {
+						stolen.Add(1)
+					}
 					atomic.AddInt64(&r.tasks, 1)
 				}
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
+	ts := TreeStats{Tasks: int(done.Load()), Steals: int(stolen.Load())}
 	if f := failed.Load(); f < int64(n) {
 		if p := panics[f]; p != nil {
 			panic(p)
 		}
-		return nil, fmt.Errorf("engine: task %d: %w", f, errs[f])
+		return nil, ts, fmt.Errorf("engine: task %d: %w", f, errs[f])
 	}
-	return results, nil
+	return results, ts, nil
 }
 
 // TaskPanic is the value Map re-raises when a task panicked on a
@@ -240,12 +278,12 @@ func (p *TaskPanic) String() string {
 
 // runTask executes one task, converting a panic into a capturable
 // outcome so it can be re-raised on the caller's goroutine.
-func runTask[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (res T, err error, pan *TaskPanic) {
+func runTask[T any](ctx context.Context, i, worker int, fn func(context.Context, int, int) (T, error)) (res T, err error, pan *TaskPanic) {
 	defer func() {
 		if p := recover(); p != nil {
 			pan = &TaskPanic{Task: i, Value: p, Stack: debug.Stack()}
 		}
 	}()
-	res, err = fn(ctx, i)
+	res, err = fn(ctx, i, worker)
 	return
 }

@@ -47,7 +47,7 @@ func ScenarioSweepOn(ctx context.Context, eng *engine.Runner, family string, siz
 		in := cachedScenarioInstance(eng, family, size, int64(seed))
 		g := passive.GreedyGain(in, k)
 		ex := cachedSolve(ctx, eng, engine.MustKey("scenario/tap-exact", in, k, maxNodes), func() passive.Placement {
-			pl := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes})
+			pl := passive.ExactCover(ctx, in, k, cover.ExactOptions{MaxNodes: maxNodes, Workers: eng.Workers()})
 			eng.AddStats(pl.Stats)
 			return pl
 		})

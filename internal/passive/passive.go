@@ -158,6 +158,9 @@ func ExactCover(ctx context.Context, in *core.Instance, k float64, opts cover.Ex
 	pl := finish(in, edgeIDs(res.Chosen), res.Exact, "exact-cover")
 	pl.Stats.Nodes = res.Nodes
 	pl.Stats.VarsFixed = res.SetsBanned
+	pl.Stats.SubtreeTasks = res.SubtreeTasks
+	pl.Stats.Steals = res.Steals
+	pl.Stats.DominancePrunes = res.DominancePrunes
 	return pl
 }
 

@@ -278,6 +278,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			func() float64 { return float64(st.WarmStarts) }},
 		{"placementd_solver_vars_fixed_total", "Variables fixed by reduced-cost fixing across all solves.",
 			func() float64 { return float64(st.VarsFixed) }},
+		{"placementd_solver_subtree_tasks_total", "Parallel branch-and-bound subtree tasks dispatched across all solves.",
+			func() float64 { return float64(st.SubtreeTasks) }},
+		{"placementd_solver_steals_total", "Subtree tasks run by a worker other than their round-robin home.",
+			func() float64 { return float64(st.Steals) }},
+		{"placementd_solver_dominance_prunes_total", "Sets excluded by dominance/symmetry reductions across all solves.",
+			func() float64 { return float64(st.DominancePrunes) }},
 	}
 	gauges := []gauge{
 		{"placementd_inflight", "Requests currently holding an in-flight slot.",

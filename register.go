@@ -234,6 +234,9 @@ func solveStats(st core.SolveStats) Stats {
 		VarsFixed:        st.VarsFixed,
 		PresolveRemoved:  st.PresolveRemoved,
 		StrongBranches:   st.StrongBranches,
+		SubtreeTasks:     st.SubtreeTasks,
+		Steals:           st.Steals,
+		DominancePrunes:  st.DominancePrunes,
 	}
 }
 

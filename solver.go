@@ -56,6 +56,17 @@ type Stats struct {
 	// StrongBranches is the number of strong-branching probe LPs solved
 	// to initialize pseudo-cost branching.
 	StrongBranches int
+	// SubtreeTasks is the number of independent subtree tasks the
+	// parallel branch-and-bound dispatched over its worker pool (0 for
+	// searches that closed in the serial phases).
+	SubtreeTasks int
+	// Steals is the number of subtree tasks executed by a worker other
+	// than their round-robin home — the load-balancing traffic of the
+	// shared task queue. Always 0 for serial solves.
+	Steals int
+	// DominancePrunes is the number of set exclusions applied by the
+	// dominance and symmetry reductions of the combinatorial search.
+	DominancePrunes int
 }
 
 // Result is the unified outcome of a Solve: the placement for the
