@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -21,6 +22,9 @@ import (
 // are shared: treat every *Result from a batch as read-only.
 type Runner struct {
 	eng *engine.Runner
+	// quarantined counts persistent-cache entries that failed envelope
+	// verification on load and were moved aside (see persist.go).
+	quarantined atomic.Int64
 }
 
 // runnerConfig collects the RunnerOption knobs.
@@ -59,16 +63,18 @@ func NewRunner(opts ...RunnerOption) *Runner {
 	for _, fn := range opts {
 		fn(&cfg)
 	}
+	r := &Runner{}
 	var cache *engine.Cache
 	if cfg.cache {
 		cache = engine.NewCache()
 		if cfg.cacheDir != "" {
 			// Best-effort: an unusable directory leaves the cache
 			// memory-only rather than failing the runner.
-			_ = attachCacheDir(cache, cfg.cacheDir)
+			_ = attachCacheDir(cache, cfg.cacheDir, &r.quarantined)
 		}
 	}
-	return &Runner{eng: engine.New(engine.Options{Workers: cfg.workers, Cache: cache})}
+	r.eng = engine.New(engine.Options{Workers: cfg.workers, Cache: cache})
+	return r
 }
 
 // Workers returns the runner's concurrency bound.
@@ -82,6 +88,11 @@ func (r *Runner) CacheCounts() (hits, misses int64) {
 	}
 	return 0, 0
 }
+
+// CacheQuarantined returns how many persistent-cache entries failed
+// verification on load and were quarantined instead of served (always
+// 0 without WithCacheDir).
+func (r *Runner) CacheQuarantined() int64 { return r.quarantined.Load() }
 
 // BatchStats returns the aggregated effort counters of every solve the
 // runner executed (cache hits do not count twice: memoized solves
@@ -101,6 +112,7 @@ func (r *Runner) BatchStats() Stats {
 		SubtreeTasks:     st.SubtreeTasks,
 		Steals:           st.Steals,
 		DominancePrunes:  st.DominancePrunes,
+		Degraded:         st.Degraded,
 	}
 }
 
@@ -147,7 +159,7 @@ func (r *Runner) SolveBatch(ctx context.Context, solver string, problems []Probl
 			key, _ = engine.Key(solver, p, o.Coverage, o.Budget, o.Installed, o.Gap, o.Seed, o.MaxNodes)
 		}
 		if key == "" || r.eng.Cache() == nil {
-			res, err := s.Solve(ctx, p, opts...)
+			res, err := solveWithFallback(ctx, s, p, opts)
 			if err == nil {
 				r.addStats(res)
 			}
@@ -156,11 +168,16 @@ func (r *Runner) SolveBatch(ctx context.Context, solver string, problems []Probl
 		// CachedUnlessCanceled hands back (without retaining) a result
 		// degraded by the caller's ctx firing mid-solve: a memoized
 		// incumbent must never masquerade as a fresh solve for a later,
-		// unhurried batch.
+		// unhurried batch. Fallback-degraded results get the same
+		// treatment via WithoutCaching: they are answers for THIS
+		// request, not memoized truth under the primary solver's key.
 		v, err := r.eng.CachedUnlessCanceled(ctx, key, func() (any, error) {
-			res, err := s.Solve(ctx, p, opts...)
+			res, err := solveWithFallback(ctx, s, p, opts)
 			if err == nil {
 				r.addStats(res)
+			}
+			if err == nil && res.Degraded {
+				return nil, engine.WithoutCaching(res)
 			}
 			return res, err
 		})
@@ -189,6 +206,7 @@ func (r *Runner) addStats(res *Result) {
 		SubtreeTasks:     res.Stats.SubtreeTasks,
 		Steals:           res.Stats.Steals,
 		DominancePrunes:  res.Stats.DominancePrunes,
+		Degraded:         res.Stats.Degraded,
 	})
 }
 

@@ -1,0 +1,192 @@
+// Package client is the placementd client: POSTs with exponential
+// backoff, jittered retries, and Retry-After honoring, so a retry
+// storm from a fleet of well-behaved clients cannot amplify the very
+// overload the daemon's admission control is shedding.
+//
+// Retries are safe because placementd requests are idempotent by
+// construction: a solve request is a pure function of its body (the
+// daemon memoizes by canonical instance key), so replaying the same
+// bytes can only re-serve the same answer. Each request carries an
+// Idempotency-Key header — the SHA-256 of the body — making the
+// content-addressing visible to proxies and logs.
+//
+// Jitter draws from an explicit seeded generator (the repository's
+// determinism discipline extends to its clients), so a load driver's
+// retry schedule reproduces run-to-run.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client is a placementd client. It is safe for concurrent use; all
+// goroutines share the backoff generator under a lock.
+type Client struct {
+	base      string
+	hc        *http.Client
+	retries   int
+	baseDelay time.Duration
+	maxDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default http.DefaultClient
+// semantics on a private client).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a retryable outcome is retried on
+// top of the first attempt (default 4; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the exponential backoff's first delay and its cap
+// (defaults 50ms and 2s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseDelay, c.maxDelay = base, max }
+}
+
+// WithSeed seeds the jitter generator (default 1).
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a client for the placementd at base (e.g.
+// "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:      base,
+		hc:        &http.Client{},
+		retries:   4,
+		baseDelay: 50 * time.Millisecond,
+		maxDelay:  2 * time.Second,
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for _, fn := range opts {
+		fn(c)
+	}
+	return c
+}
+
+// Outcome is the terminal result of one Post, after retries.
+type Outcome struct {
+	// Status is the final HTTP status.
+	Status int
+	// Body is the final response body.
+	Body []byte
+	// Attempts is how many HTTP round trips were made (>= 1).
+	Attempts int
+	// Retries is Attempts - 1.
+	Retries int
+}
+
+// retryable reports whether a status is worth retrying: sheds and
+// transient server-side failures, never client errors.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Post sends body to base+path, retrying retryable outcomes (transport
+// errors, 429, 5xx) with exponential backoff and jitter. A 429/503
+// carrying Retry-After sleeps exactly the server's ask instead of the
+// backoff guess. The final response — success or not — comes back as
+// an Outcome with a nil error; the error return is reserved for
+// transport failure on the last attempt and context cancellation.
+func (c *Client) Post(ctx context.Context, path string, body []byte) (*Outcome, error) {
+	key := sha256.Sum256(body)
+	keyHex := hex.EncodeToString(key[:])
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", keyHex)
+		resp, err := c.hc.Do(req)
+		var retryAfter time.Duration
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+		} else {
+			data, readErr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if readErr != nil {
+				lastErr = readErr
+			} else if !retryable(resp.StatusCode) || attempt == c.retries {
+				return &Outcome{
+					Status:   resp.StatusCode,
+					Body:     data,
+					Attempts: attempt + 1,
+					Retries:  attempt,
+				}, nil
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+					retryAfter = time.Duration(secs) * time.Second
+				}
+			}
+		}
+		if attempt == c.retries {
+			return nil, fmt.Errorf("client: %s: %d attempts exhausted: %w", path, attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// backoffDelay computes one capped exponential delay with jitter in
+// [d/2, d) so synchronized clients spread out.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	d := c.baseDelay << attempt
+	if d > c.maxDelay || d <= 0 {
+		d = c.maxDelay
+	}
+	if half := int64(d / 2); half > 0 {
+		c.mu.Lock()
+		d = d/2 + time.Duration(c.rng.Int63n(half))
+		c.mu.Unlock()
+	}
+	return d
+}
+
+// sleep waits out one backoff step: the server's Retry-After when it
+// gave one, otherwise backoffDelay.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := retryAfter
+	if d == 0 {
+		d = c.backoffDelay(attempt)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPostSucceedsFirstTry(t *testing.T) {
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	out, err := New(ts.URL).Post(context.Background(), "/v1/solve", []byte(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusOK || out.Attempts != 1 || out.Retries != 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if string(out.Body) != `{"ok":true}` {
+		t.Fatalf("body = %s", out.Body)
+	}
+	if len(keys) != 1 || len(keys[0]) != 64 || strings.ToLower(keys[0]) != keys[0] {
+		t.Fatalf("Idempotency-Key = %v, want one 64-hex digest", keys)
+	}
+}
+
+func TestPostRetriesServerErrorsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	var keys []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond, 5*time.Millisecond))
+	out, err := c.Post(context.Background(), "/v1/solve", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusOK || out.Retries != 2 || out.Attempts != 3 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	for _, k := range keys[1:] {
+		if k != keys[0] {
+			t.Fatalf("Idempotency-Key changed across retries: %v", keys)
+		}
+	}
+}
+
+func TestPostHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if calls.Add(1) == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		gap = now.Sub(last)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	// Backoff is microseconds, so a ~1s gap can only come from the
+	// server's Retry-After ask.
+	c := New(ts.URL, WithBackoff(time.Microsecond, time.Microsecond))
+	out, err := c.Post(context.Background(), "/v1/solve", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusOK || out.Retries != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if gap < 900*time.Millisecond {
+		t.Fatalf("retry gap = %v, want >= ~1s from Retry-After", gap)
+	}
+}
+
+func TestPostReturnsFinalRetryableStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "full", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	out, err := c.Post(context.Background(), "/v1/solve", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusServiceUnavailable || out.Attempts != 3 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestPostDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	out, err := New(ts.URL).Post(context.Background(), "/v1/solve", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != http.StatusBadRequest || out.Attempts != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+func TestPostTransportErrorExhaustsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens: every attempt is a transport error
+
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	out, err := c.Post(context.Background(), "/v1/solve", []byte("body"))
+	if err == nil {
+		t.Fatalf("want transport error, got %+v", out)
+	}
+	if !strings.Contains(err.Error(), "3 attempts exhausted") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPostContextCancelDuringBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := New(ts.URL, WithBackoff(10*time.Second, 10*time.Second))
+	start := time.Now()
+	_, err := c.Post(ctx, "/v1/solve", []byte("body"))
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("cancellation took %v, backoff sleep ignored the context", time.Since(start))
+	}
+}
+
+func TestBackoffJitterSeededAndCapped(t *testing.T) {
+	a := New("http://x", WithSeed(7), WithBackoff(40*time.Millisecond, 200*time.Millisecond))
+	b := New("http://x", WithSeed(7), WithBackoff(40*time.Millisecond, 200*time.Millisecond))
+	for attempt := 0; attempt < 8; attempt++ {
+		da := a.backoffDelay(attempt)
+		db := b.backoffDelay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		if da < 20*time.Millisecond || da >= 200*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v outside [base/2, max)", attempt, da)
+		}
+	}
+}

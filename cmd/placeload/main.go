@@ -5,10 +5,17 @@
 // so the cache-hit mix is controllable: -seeds 1 measures hot-cache
 // service overhead, -seeds n measures cold solves.
 //
+// Requests go through the repro/client retry layer: shed 429s and
+// transient 5xx are retried up to -retries times with exponential
+// backoff, honoring the daemon's Retry-After ask, and the report
+// counts how many retries the run needed and how many responses were
+// answered by a fallback solver (degraded).
+//
 // Usage:
 //
 //	placeload -addr http://127.0.0.1:8080 -n 256 -c 64
 //	placeload -addr http://127.0.0.1:8080 -family metro -size 30 -seeds 8
+//	placeload -addr http://127.0.0.1:8080 -retries 0   # raw, no retrying
 //	placeload -version
 //
 // Exit status is 0 when every request got an HTTP response (shed 429s
@@ -18,17 +25,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/client"
 	"repro/internal/buildinfo"
 )
 
@@ -44,7 +52,9 @@ func main() {
 // report is what one load run produces; the test and -json consume it.
 type report struct {
 	Requests   int                `json:"requests"`
-	Dropped    int                `json:"dropped"` // transport failures: no HTTP response at all
+	Dropped    int                `json:"dropped"` // transport failures: no HTTP response after retries
+	Retried    int                `json:"retried"` // extra round trips spent on retries
+	Degraded   int                `json:"degraded"`
 	ByStatus   map[int]int        `json:"by_status"`
 	Seconds    float64            `json:"seconds"`
 	Throughput float64            `json:"throughput_rps"`
@@ -64,6 +74,7 @@ func run(args []string, out io.Writer) (int, error) {
 	seeds := fs.Int("seeds", 4, "distinct scenario seeds to cycle through")
 	coverage := fs.Float64("coverage", 0.9, "coverage target")
 	timeoutMS := fs.Int("timeout-ms", 0, "per-request solve deadline forwarded to the daemon (0 = none)")
+	retries := fs.Int("retries", 2, "retries per request on 429/5xx/transport errors (0 = none)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
@@ -76,11 +87,15 @@ func run(args []string, out io.Writer) (int, error) {
 	if *n <= 0 || *c <= 0 || *seeds <= 0 {
 		return 2, fmt.Errorf("-n, -c and -seeds must be positive")
 	}
+	if *retries < 0 {
+		return 2, fmt.Errorf("-retries must not be negative")
+	}
 
 	rep, err := drive(*addr, loadSpec{
 		N: *n, C: *c,
 		Solver: *solver, Family: *family, Size: *size,
 		Seeds: *seeds, Coverage: *coverage, TimeoutMS: *timeoutMS,
+		Retries: *retries,
 	})
 	if err != nil {
 		return 2, err
@@ -108,15 +123,18 @@ type loadSpec struct {
 	Seeds     int
 	Coverage  float64
 	TimeoutMS int
+	Retries   int
 }
 
 // drive fires spec.N requests from spec.C workers and aggregates the
-// outcome. Every worker shares one http.Client so connections are
+// outcome. Every worker shares one retrying client so connections are
 // reused the way a real client fleet's would be.
 func drive(addr string, spec loadSpec) (*report, error) {
 	type outcome struct {
-		status  int // 0 = transport error
-		latency time.Duration
+		status   int // 0 = transport error after retries
+		retries  int
+		degraded bool
+		latency  time.Duration
 	}
 	bodies := make([][]byte, spec.Seeds)
 	for s := range bodies {
@@ -134,7 +152,7 @@ func drive(addr string, spec loadSpec) (*report, error) {
 		bodies[s] = b
 	}
 
-	client := &http.Client{}
+	cl := client.New(addr, client.WithRetries(spec.Retries))
 	outcomes := make([]outcome, spec.N)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -150,14 +168,19 @@ func drive(addr string, spec loadSpec) (*report, error) {
 				}
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+				res, err := cl.Post(context.Background(), "/v1/solve", body)
 				if err != nil {
-					outcomes[i] = outcome{status: 0, latency: time.Since(t0)}
+					// Retries exhausted without an HTTP response: all
+					// spec.Retries extra attempts were spent.
+					outcomes[i] = outcome{status: 0, retries: spec.Retries, latency: time.Since(t0)}
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				outcomes[i] = outcome{status: resp.StatusCode, latency: time.Since(t0)}
+				outcomes[i] = outcome{
+					status:   res.Status,
+					retries:  res.Retries,
+					degraded: bytes.Contains(res.Body, []byte(`"Degraded":true`)),
+					latency:  time.Since(t0),
+				}
 			}
 		}()
 	}
@@ -172,11 +195,15 @@ func drive(addr string, spec loadSpec) (*report, error) {
 	}
 	latencies := make([]float64, 0, spec.N)
 	for _, o := range outcomes {
+		rep.Retried += o.retries
 		if o.status == 0 {
 			rep.Dropped++
 			continue
 		}
 		rep.ByStatus[o.status]++
+		if o.degraded {
+			rep.Degraded++
+		}
 		latencies = append(latencies, float64(o.latency.Microseconds())/1000)
 	}
 	if elapsed > 0 {
@@ -209,7 +236,8 @@ func percentile(sorted []float64, q float64) float64 {
 }
 
 func printReport(w io.Writer, rep *report) {
-	fmt.Fprintf(w, "requests   %d (%d dropped)\n", rep.Requests, rep.Dropped)
+	fmt.Fprintf(w, "requests   %d (%d dropped, %d retried round trips, %d degraded)\n",
+		rep.Requests, rep.Dropped, rep.Retried, rep.Degraded)
 	codes := make([]int, 0, len(rep.ByStatus))
 	for c := range rep.ByStatus {
 		codes = append(codes, c)

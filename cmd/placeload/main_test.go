@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/service"
 )
 
@@ -76,6 +79,64 @@ func TestLoadTinyQueueShedsDeliberately(t *testing.T) {
 	}
 	if shed == 0 {
 		t.Fatalf("queue of 1 under 64 workers shed nothing: %v", rep.ByStatus)
+	}
+}
+
+// TestLoadRetriesDrainSheds runs the same over-tight queue with the
+// retry layer on: shed requests come back, get retried after the
+// daemon's Retry-After, and the report shows the retries it cost.
+func TestLoadRetriesDrainSheds(t *testing.T) {
+	ts := newDaemon(t, service.Config{MaxInFlight: 1, MaxQueue: 1})
+
+	rep, err := drive(ts.URL, loadSpec{
+		N: 48, C: 32,
+		Solver: "tap/greedy-gain", Family: "waxman", Size: 16,
+		Seeds: 2, Coverage: 0.9, Retries: 6,
+	})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", rep.Dropped)
+	}
+	if rep.Retried == 0 {
+		t.Fatalf("one-deep queue under 32 workers retried nothing: %+v", rep)
+	}
+	if ok, shed := rep.ByStatus[200], rep.ByStatus[429]; ok+shed != 48 || ok == 0 {
+		t.Fatalf("200s (%d) + final 429s (%d) != 48; mix %v", ok, shed, rep.ByStatus)
+	}
+}
+
+// deadSolver always fails, so every request it serves is answered by
+// the service's fallback ladder — a degraded response placeload must
+// count.
+type deadSolver struct{ name string }
+
+func (d *deadSolver) Name() string { return d.name }
+
+func (d *deadSolver) Solve(ctx context.Context, problem repro.Problem, opts ...repro.Option) (*repro.Result, error) {
+	return nil, errors.New("deliberately dead")
+}
+
+func TestLoadCountsDegradedResponses(t *testing.T) {
+	if err := repro.RegisterSolver(&deadSolver{name: "tap/placeload-dead"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := newDaemon(t, service.Config{MaxInFlight: 4, MaxQueue: 64})
+
+	rep, err := drive(ts.URL, loadSpec{
+		N: 8, C: 4,
+		Solver: "tap/placeload-dead", Family: "waxman", Size: 16,
+		Seeds: 2, Coverage: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if rep.ByStatus[200] != 8 {
+		t.Fatalf("by_status = %v, want 8 x 200 via the fallback ladder", rep.ByStatus)
+	}
+	if rep.Degraded != 8 {
+		t.Fatalf("degraded = %d, want 8", rep.Degraded)
 	}
 }
 

@@ -94,6 +94,10 @@ func run(args []string, out, progress io.Writer, notify func(net.Addr), stop <-c
 	case sig := <-stop:
 		fmt.Fprintf(progress, "placementd: %v, draining (max %v)\n", sig, *drain)
 	}
+	// Flip the health probes to 503 before closing the listener, so a
+	// load balancer stops routing while Shutdown finishes in-flight
+	// work.
+	svc.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

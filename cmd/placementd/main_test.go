@@ -40,17 +40,19 @@ func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, chan err
 func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
 	base, stop, done, progress := startDaemon(t)
 
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status = %d", resp.StatusCode)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + probe)
+		if err != nil {
+			t.Fatalf("%s: %v", probe, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", probe, resp.StatusCode)
+		}
 	}
 
 	body := `{"solver":"tap/greedy-gain","family":"waxman","size":16,"seed":1,"coverage":0.9}`
-	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatalf("solve: %v", err)
 	}

@@ -1,7 +1,7 @@
 // Command placevet is the repro's own vet: a multichecker over the
-// five house-rule analyzers in internal/analysis that keep figures,
-// parallel merges, and cached service responses byte-identical
-// (DESIGN.md §8).
+// six house-rule analyzers in internal/analysis that keep figures,
+// parallel merges, and cached service responses byte-identical, and
+// failure injection inside the seeded fault registry (DESIGN.md §8).
 //
 // Two modes, decided by the argument shape:
 //
@@ -37,6 +37,7 @@ import (
 	"repro/internal/analysis/atomicwrite"
 	"repro/internal/analysis/ctxloop"
 	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/faultgate"
 	"repro/internal/analysis/floatcmp"
 	"repro/internal/analysis/maporder"
 	"repro/internal/buildinfo"
@@ -58,6 +59,7 @@ func main() {
 			floatcmp.Analyzer,
 			ctxloop.Analyzer,
 			atomicwrite.Analyzer,
+			faultgate.Analyzer,
 		) // never returns
 	}
 

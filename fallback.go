@@ -1,0 +1,53 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Graceful-degradation ladder (DESIGN.md §9): a solve configured
+// WithFallback never turns one solver's failure into the caller's
+// failure while a cheaper registered solver can still produce a
+// feasible placement. The ladder activates only on a primary *error* —
+// a solver stopped by its deadline WITH an incumbent already degrades
+// the paper's way (best-so-far, Optimal == false) and is not a
+// failure. Ladder answers carry provenance (Result.Degraded,
+// Result.FallbackSolver, Stats.Degraded) so every downstream surface —
+// batch aggregates, placementd response JSON, /metrics — can count
+// degradation instead of hiding it.
+
+// solveWithFallback runs s and, on error, falls through the
+// WithFallback ladder in order, returning the first success stamped
+// with degradation provenance. With no ladder (or none left), the
+// primary's error — joined with every ladder member's — surfaces.
+func solveWithFallback(ctx context.Context, s Solver, problem Problem, opts []Option) (*Result, error) {
+	res, err := s.Solve(ctx, problem, opts...)
+	o := BuildOptions(opts)
+	if err == nil || len(o.Fallback) == 0 {
+		return res, err
+	}
+	errs := []error{err}
+	for _, name := range o.Fallback {
+		if name == s.Name() {
+			// The primary already failed; retrying it is not degrading.
+			continue
+		}
+		fb, lerr := LookupSolver(name)
+		if lerr != nil {
+			errs = append(errs, lerr)
+			continue
+		}
+		res, ferr := fb.Solve(ctx, problem, opts...)
+		if ferr != nil {
+			errs = append(errs, fmt.Errorf("fallback %s: %w", name, ferr))
+			continue
+		}
+		res.Solver = s.Name()
+		res.Degraded = true
+		res.FallbackSolver = name
+		res.Stats.Degraded++
+		return res, nil
+	}
+	return nil, fmt.Errorf("repro: %s and its fallback ladder all failed: %w", s.Name(), errors.Join(errs...))
+}

@@ -1,0 +1,139 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flakySolver fails until healed, then delegates to a real solver.
+type flakySolver struct {
+	name     string
+	delegate string
+	fails    atomic.Int64 // remaining failures; negative = always fail
+	calls    atomic.Int64
+}
+
+func (f *flakySolver) Name() string { return f.name }
+
+func (f *flakySolver) Solve(ctx context.Context, problem Problem, opts ...Option) (*Result, error) {
+	f.calls.Add(1)
+	for {
+		n := f.fails.Load()
+		if n == 0 {
+			return Solve(ctx, f.delegate, problem, opts...)
+		}
+		if n < 0 || f.fails.CompareAndSwap(n, n-1) {
+			return nil, errors.New("injected primary failure")
+		}
+	}
+}
+
+var flakySeq atomic.Int64
+
+// newFlaky registers a fresh flaky solver failing the first fails
+// solves (negative = forever) and returns it.
+func newFlaky(t *testing.T, fails int64) *flakySolver {
+	t.Helper()
+	f := &flakySolver{
+		name:     fmt.Sprintf("test/flaky-%d", flakySeq.Add(1)),
+		delegate: "tap/greedy-gain",
+	}
+	f.fails.Store(fails)
+	if err := RegisterSolver(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSolveFallbackLadder(t *testing.T) {
+	in := testInstance(t, 1)
+	f := newFlaky(t, -1)
+
+	// Without a ladder the failure surfaces.
+	if _, err := Solve(context.Background(), f.name, in); err == nil {
+		t.Fatal("primary failure did not surface without a ladder")
+	}
+
+	res, err := Solve(context.Background(), f.name, in,
+		WithCoverage(0.9), WithFallback("tap/greedy-gain"))
+	if err != nil {
+		t.Fatalf("ladder solve: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("ladder result not stamped Degraded")
+	}
+	if res.FallbackSolver != "tap/greedy-gain" {
+		t.Fatalf("FallbackSolver = %q, want tap/greedy-gain", res.FallbackSolver)
+	}
+	if res.Solver != f.name {
+		t.Fatalf("Solver = %q, want requested %q", res.Solver, f.name)
+	}
+	if res.Stats.Degraded != 1 {
+		t.Fatalf("Stats.Degraded = %d, want 1", res.Stats.Degraded)
+	}
+	if res.Taps == nil {
+		t.Fatal("degraded result carries no placement")
+	}
+}
+
+func TestSolveFallbackLadderAllFail(t *testing.T) {
+	in := testInstance(t, 1)
+	f := newFlaky(t, -1)
+	f2 := newFlaky(t, -1)
+	_, err := Solve(context.Background(), f.name, in,
+		WithFallback(f.name, f2.name, "no/such-solver"))
+	if err == nil {
+		t.Fatal("exhausted ladder returned nil error")
+	}
+	for _, want := range []string{"injected primary failure", "unknown solver", f2.name} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined ladder error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestBatchFallbackDegradedNotCached(t *testing.T) {
+	in := testInstance(t, 1)
+	f := newFlaky(t, 1) // fail exactly the first solve, then heal
+	r := NewRunner(WithWorkers(1))
+
+	res, err := r.SolveBatch(context.Background(), f.name, []Problem{in},
+		WithCoverage(0.9), WithFallback("tap/greedy-gain"))
+	if err != nil {
+		t.Fatalf("degraded batch: %v", err)
+	}
+	if !res[0].Degraded || res[0].FallbackSolver != "tap/greedy-gain" {
+		t.Fatalf("batch result not stamped: %+v", res[0])
+	}
+	if st := r.BatchStats(); st.Degraded != 1 {
+		t.Fatalf("BatchStats.Degraded = %d, want 1", st.Degraded)
+	}
+
+	// The primary healed; the degraded answer must NOT have been
+	// memoized under the primary's key, so this identical batch
+	// re-solves fresh and comes back undegraded.
+	res2, err := r.SolveBatch(context.Background(), f.name, []Problem{in},
+		WithCoverage(0.9), WithFallback("tap/greedy-gain"))
+	if err != nil {
+		t.Fatalf("healed batch: %v", err)
+	}
+	if res2[0].Degraded {
+		t.Fatal("healed batch served the memoized degraded result")
+	}
+	if hits, _ := r.CacheCounts(); hits != 0 {
+		t.Fatalf("cache hits = %d, want 0 (degraded result must not be retained)", hits)
+	}
+
+	// Now the healthy result IS cached: a third batch hits.
+	if _, err := r.SolveBatch(context.Background(), f.name, []Problem{in},
+		WithCoverage(0.9), WithFallback("tap/greedy-gain")); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := r.CacheCounts(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1 after heal", hits)
+	}
+}

@@ -1,0 +1,83 @@
+// Package faultgate defines the placevet analyzer that keeps failure
+// injection honest. PR 9 introduced internal/fault: every simulated
+// failure — a corrupt cache entry, a stalling worker, a panicking
+// handler — fires from a seeded, named inject point, so a chaos run
+// reproduces exactly from its seed and a production binary with no
+// registry activated pays one atomic load. An ad-hoc failure branch
+// gated on an environment variable or on testing.Testing() undoes
+// both properties: it is invisible to the fault registry's accounting,
+// unreproducible (nothing records that the switch was set), and it
+// ships a secret behavior toggle in the production binary.
+package faultgate
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/placevet"
+)
+
+const doc = `forbid ad-hoc failure switches outside the fault registry
+
+Flags calls to os.Getenv, os.LookupEnv and testing.Testing in non-test
+files of the fault-disciplined packages named by -packages (default:
+the repro root package, internal/engine, internal/lp and
+internal/service). Simulated failures in those packages must fire from
+a named internal/fault inject point, where they are seeded,
+deterministic, counted, and free when disabled — not from environment
+sniffing or am-I-under-test branches.`
+
+const name = "faultgate"
+
+// Analyzer is the faultgate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// packages gates the analyzer to the packages wired with fault inject
+// points.
+var packages = placevet.PkgList{Suffixes: []string{
+	"repro",
+	"internal/engine",
+	"internal/lp",
+	"internal/service",
+}}
+
+func init() {
+	Analyzer.Flags.Var(&packages, "packages",
+		"comma-separated package path suffixes to check (\"*\" for all)")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	waivers := placevet.ParseWaivers(pass)
+	waivers.ReportMalformed(pass, name)
+	if !placevet.PkgMatch(pass.Pkg.Path(), packages.Suffixes) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if placevet.InTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		call := n.(*ast.CallExpr)
+		switch {
+		case placevet.IsPkgFunc(pass.TypesInfo, call.Fun, "os", "Getenv", "LookupEnv"):
+			fn := placevet.PkgFuncOf(pass.TypesInfo, call.Fun)
+			waivers.Report(pass, call.Pos(), name,
+				"os.%s in a fault-disciplined package is an ad-hoc behavior switch; route simulated failures through a named internal/fault inject point",
+				fn.Name())
+		case placevet.IsPkgFunc(pass.TypesInfo, call.Fun, "testing", "Testing"):
+			waivers.Report(pass, call.Pos(), name,
+				"testing.Testing in a fault-disciplined package hides an am-I-under-test branch; route simulated failures through a named internal/fault inject point")
+		}
+	})
+	return nil, nil
+}

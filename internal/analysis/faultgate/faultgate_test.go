@@ -1,0 +1,21 @@
+package faultgate_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/faultgate"
+)
+
+func TestFaultgate(t *testing.T) {
+	// "internal/engine" is on the default gate list.
+	analyzertest.Run(t, faultgate.Analyzer, "testdata/src/faultgate", "example.com/internal/engine")
+}
+
+// The same sources under an ungated import path produce no findings.
+func TestFaultgateGating(t *testing.T) {
+	diags := analyzertest.RunCollect(t, faultgate.Analyzer, "testdata/src/faultgate", "example.com/internal/topology")
+	if len(diags) != 0 {
+		t.Errorf("gated analyzer reported outside its packages: %+v", diags)
+	}
+}

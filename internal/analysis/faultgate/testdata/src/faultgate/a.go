@@ -1,0 +1,44 @@
+package faultgatetest
+
+import (
+	"os"
+	"testing"
+)
+
+// flagged: an env-var failure switch is unseeded, uncounted, and ships
+// in the production binary.
+func corruptIfEnvSet(data []byte) []byte {
+	if os.Getenv("REPRO_CORRUPT_CACHE") != "" { // want `os\.Getenv in a fault-disciplined package is an ad-hoc behavior switch`
+		data[0] ^= 0x40
+	}
+	return data
+}
+
+// flagged: ditto for LookupEnv.
+func stallIfEnvSet() bool {
+	_, ok := os.LookupEnv("REPRO_STALL_WORKER") // want `os\.LookupEnv in a fault-disciplined package`
+	return ok
+}
+
+// flagged: am-I-under-test branches hide behavior divergence.
+func failUnderTest() bool {
+	return testing.Testing() // want `testing\.Testing in a fault-disciplined package hides an am-I-under-test branch`
+}
+
+// sanctioned: reading configuration through os.Environ-free APIs, and
+// plain os file calls, are not failure switches.
+func writeTemp(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "x*")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// waived: a documented operational knob, not failure injection.
+func cacheRoot() string {
+	//placevet:ignore faultgate -- deployment-selected cache root, documented in README; not a failure switch
+	return os.Getenv("REPRO_CACHE_ROOT")
+}

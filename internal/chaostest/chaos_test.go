@@ -1,0 +1,562 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/passive"
+	"repro/internal/scenario"
+	"repro/internal/service"
+	"repro/internal/traffic"
+)
+
+var (
+	faultSeed     = flag.Int64("fault-seed", 0, "run the chaos storm under this single fault seed instead of the built-in pair")
+	chaosRequests = flag.Int("chaos-requests", 1000, "requests per chaos storm seed")
+)
+
+// flakySolver fails every third call, so the service's fallback
+// ladder and degraded-response provenance are continuously exercised
+// during the storm.
+type flakySolver struct{ calls atomic.Int64 }
+
+const flakyName = "tap/chaos-flaky"
+
+func (f *flakySolver) Name() string { return flakyName }
+
+func (f *flakySolver) Solve(ctx context.Context, problem repro.Problem, opts ...repro.Option) (*repro.Result, error) {
+	if f.calls.Add(1)%3 == 0 {
+		return nil, errors.New("chaos: flaky primary failure")
+	}
+	return repro.Solve(ctx, repro.SolverTapGreedyGain, problem, opts...)
+}
+
+var registerFlaky sync.Once
+
+func needFlaky(t *testing.T) {
+	t.Helper()
+	registerFlaky.Do(func() {
+		if err := repro.RegisterSolver(&flakySolver{}); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// chaosReq is one request shape of the storm mix; its instance is the
+// replay-verification oracle.
+type chaosReq struct {
+	solver   string
+	family   string
+	size     int
+	seed     int64
+	coverage float64
+}
+
+func (r chaosReq) body() []byte {
+	b, err := json.Marshal(map[string]any{
+		"solver": r.solver, "family": r.family, "size": r.size,
+		"seed": r.seed, "coverage": r.coverage,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// stormMix cycles heuristic, exact, flaky and MIP solvers over two
+// families, two sizes and three scenario seeds, so the storm reaches
+// the greedy path, the parallel branch-and-bound, the fallback
+// ladder, and the LP warm-start machinery its lp/factor fault targets.
+func stormMix() []chaosReq {
+	var mix []chaosReq
+	for _, solver := range []string{repro.SolverTapGreedyGain, repro.SolverTapExact, flakyName} {
+		for _, family := range []string{"waxman", "metro"} {
+			for _, size := range []int{16, 20} {
+				for seed := int64(1); seed <= 3; seed++ {
+					mix = append(mix, chaosReq{solver, family, size, seed, 0.9})
+				}
+			}
+		}
+	}
+	mix = append(mix, chaosReq{repro.SolverTapILP, "waxman", 16, 1, 0.9})
+	return mix
+}
+
+// instances builds the replay oracle once per request shape.
+func instances(t *testing.T, mix []chaosReq) map[string]*core.Instance {
+	t.Helper()
+	byTriple := make(map[string]*core.Instance)
+	for _, r := range mix {
+		key := fmt.Sprintf("%s/%d/%d", r.family, r.size, r.seed)
+		if _, ok := byTriple[key]; ok {
+			continue
+		}
+		sc, err := scenario.Generate(r.family, r.size, r.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := traffic.Route(sc.POP, sc.Demands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byTriple[key] = in
+	}
+	return byTriple
+}
+
+// verifyFeasible replays a 200 response against the independently
+// regenerated instance: the placement must meet the coverage target,
+// and the claimed fraction must match the replayed one.
+func verifyFeasible(t *testing.T, oracle map[string]*core.Instance, req chaosReq, body []byte) {
+	t.Helper()
+	var sr struct {
+		Result *repro.Result `json:"result"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Result == nil {
+		t.Fatalf("200 body does not decode as a solve response: %v\n%s", err, body)
+	}
+	res := sr.Result
+	if res.Taps == nil {
+		t.Fatalf("solver %s answered 200 without a tap placement:\n%s", req.solver, body)
+	}
+	if res.Degraded && res.FallbackSolver == "" {
+		t.Fatalf("degraded response without fallback provenance:\n%s", body)
+	}
+	in := oracle[fmt.Sprintf("%s/%d/%d", req.family, req.size, req.seed)]
+	_, frac := passive.Coverage(in, res.Taps.Edges)
+	if frac+1e-9 < req.coverage {
+		t.Fatalf("placement replay-verifies to %.4f coverage, below the %.2f target:\n%s", frac, req.coverage, body)
+	}
+	if math.Abs(frac-res.Taps.Fraction) > 1e-9 {
+		t.Fatalf("claimed coverage fraction %.6f differs from replayed %.6f:\n%s", res.Taps.Fraction, frac, body)
+	}
+}
+
+// metric scrapes one un-labeled sample from /metrics.
+func metric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindSubmatch(data)
+	if m == nil {
+		t.Fatalf("metric %s not exposed", name)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metric %s = %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestChaosStorm is the harness's main event: >= 1000 requests per
+// seed against an in-process placementd while seeded faults panic,
+// fail, delay and corrupt underneath it.
+func TestChaosStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm takes seconds; run without -short")
+	}
+	seeds := []int64{1, 2}
+	if *faultSeed != 0 {
+		seeds = []int64{*faultSeed}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { storm(t, seed) })
+	}
+}
+
+func storm(t *testing.T, seed int64) {
+	needFlaky(t)
+	dir := t.TempDir()
+	cfg := service.Config{CacheDir: dir, Workers: 4, MaxInFlight: 8, MaxQueue: 256}
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	mix := stormMix()
+	oracle := instances(t, mix)
+
+	reg := fault.NewRegistry(seed)
+	reg.Set(fault.PointHandler, fault.Schedule{P: 0.01, Panic: true})
+	reg.Add(fault.PointHandler, fault.Schedule{P: 0.02, Err: errors.New("chaos: injected handler error")})
+	reg.Add(fault.PointHandler, fault.Schedule{P: 0.05, Delay: time.Millisecond})
+	reg.Set(fault.PointEngineTask, fault.Schedule{P: 0.03, Err: errors.New("chaos: injected task error")})
+	reg.Set(fault.PointCacheStore, fault.Schedule{Every: 3, Corrupt: true})
+	reg.Set(fault.PointLPFactor, fault.Schedule{P: 0.5})
+	fault.Activate(reg)
+	defer fault.Deactivate()
+
+	n := *chaosRequests
+	cl := client.New(ts.URL,
+		client.WithRetries(3),
+		client.WithBackoff(time.Millisecond, 20*time.Millisecond),
+		client.WithSeed(seed))
+
+	type outcome struct {
+		status int // -1 = no HTTP response at all
+		body   []byte
+	}
+	outcomes := make([]outcome, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out, err := cl.Post(context.Background(), "/v1/solve", mix[i%len(mix)].body())
+				if err != nil {
+					outcomes[i] = outcome{status: -1, body: []byte(err.Error())}
+					continue
+				}
+				outcomes[i] = outcome{status: out.Status, body: out.Body}
+			}
+		}()
+	}
+	wg.Wait()
+	fault.Deactivate()
+
+	counts := map[int]int{}
+	degraded := 0
+	for i, o := range outcomes {
+		counts[o.status]++
+		req := mix[i%len(mix)]
+		switch o.status {
+		case -1:
+			t.Fatalf("request %d got no HTTP response — the in-process daemon dropped it: %s", i, o.body)
+		case http.StatusOK:
+			verifyFeasible(t, oracle, req, o.body)
+			if bytes.Contains(o.body, []byte(`"Degraded":true`)) {
+				degraded++
+			}
+		case http.StatusTooManyRequests, http.StatusInternalServerError:
+			var er struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(o.body, &er); err != nil || er.Error == "" {
+				t.Fatalf("request %d: malformed %d body:\n%s", i, o.status, o.body)
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d:\n%s", i, o.status, o.body)
+		}
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatal("no request succeeded under chaos")
+	}
+	if degraded == 0 {
+		t.Fatal("flaky primary produced no degraded 200s; the fallback ladder never ran")
+	}
+	t.Logf("storm seed=%d: %d requests, status mix %v, %d degraded", seed, n, counts, degraded)
+
+	// Every injected panic was recovered into the incident counter —
+	// none killed the daemon (the test process is still here to ask).
+	panicsFired := reg.FiredAt(fault.PointHandler, 0)
+	if v := metric(t, ts.URL, "placementd_panics_total"); int64(v) != panicsFired {
+		t.Fatalf("panics_total = %g, want %d (one per fired panic schedule)", v, panicsFired)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("daemon unhealthy after the storm: %d", code)
+	}
+
+	// Torn cache writes quarantine on reload instead of being served:
+	// a fresh daemon over the same directory moves every corrupt entry
+	// aside and re-solves correctly.
+	torn := reg.FiredAt(fault.PointCacheStore, 0)
+	if torn == 0 {
+		t.Fatalf("no torn cache writes fired; the store schedule is dead")
+	}
+	s2, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if q := s2.Runner().CacheQuarantined(); q != torn {
+		t.Fatalf("reload quarantined %d entries, want %d (one per torn write)", q, torn)
+	}
+	if v := metric(t, ts2.URL, "placementd_cache_quarantined_total"); int64(v) != torn {
+		t.Fatalf("cache_quarantined_total = %g, want %d", v, torn)
+	}
+	verify := client.New(ts2.URL)
+	for _, req := range mix {
+		out, err := verify.Post(context.Background(), "/v1/solve", req.body())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Status != http.StatusOK {
+			t.Fatalf("fault-free re-solve of %s %s/%d/%d = %d:\n%s",
+				req.solver, req.family, req.size, req.seed, out.Status, out.Body)
+		}
+		verifyFeasible(t, oracle, req, out.Body)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// blockSolver parks in the single worker slot until released, so the
+// shed test pins the admission gate deterministically instead of
+// racing a blast against a fast solve. The gate channels are swapped
+// per test run (registration is process-global and permanent).
+type blockSolver struct{}
+
+const blockName = "tap/chaos-block"
+
+var blockGate struct {
+	mu      sync.Mutex
+	started chan struct{}
+	release chan struct{}
+}
+
+func (blockSolver) Name() string { return blockName }
+
+func (blockSolver) Solve(ctx context.Context, problem repro.Problem, opts ...repro.Option) (*repro.Result, error) {
+	blockGate.mu.Lock()
+	started, release := blockGate.started, blockGate.release
+	blockGate.mu.Unlock()
+	select {
+	case <-started:
+	default:
+		close(started)
+	}
+	select {
+	case <-release:
+		return repro.Solve(ctx, repro.SolverTapGreedyGain, problem, opts...)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+var registerBlock sync.Once
+
+// needBlock registers the blocking solver and arms fresh gate
+// channels, returning (started, release) for this run.
+func needBlock(t *testing.T) (<-chan struct{}, chan struct{}) {
+	t.Helper()
+	registerBlock.Do(func() {
+		if err := repro.RegisterSolver(blockSolver{}); err != nil {
+			panic(err)
+		}
+	})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blockGate.mu.Lock()
+	blockGate.started, blockGate.release = started, release
+	blockGate.mu.Unlock()
+	return started, release
+}
+
+// TestShedsWellFormedAndDrainFlipsProbes pins the one worker slot
+// with a blocking solve, blasts the over-tight admission gate raw
+// (no retries), and checks the outcome split is exact — one request
+// rides the one-deep queue to a 200, every other one is a well-formed
+// 429 — then drains and checks the probes turn 503.
+func TestShedsWellFormedAndDrainFlipsProbes(t *testing.T) {
+	started, release := needBlock(t)
+	s, err := service.New(service.Config{Workers: 1, MaxInFlight: 1, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type reply struct {
+		status     int
+		retryAfter string
+		body       []byte
+	}
+	post := func(body []byte) reply {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return reply{status: -1, body: []byte(err.Error())}
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return reply{resp.StatusCode, resp.Header.Get("Retry-After"), data}
+	}
+
+	blockerDone := make(chan reply, 1)
+	go func() {
+		blockerDone <- post(chaosReq{blockName, "waxman", 16, 1, 0.9}.body())
+	}()
+	<-started // the blocker now owns the only in-flight slot
+
+	body := chaosReq{repro.SolverTapGreedyGain, "waxman", 16, 1, 0.9}.body()
+	const blast = 32
+	replies := make([]reply, blast)
+	var wg sync.WaitGroup
+	for i := 0; i < blast; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i] = post(body)
+		}(i)
+	}
+	// With the slot pinned, exactly one blast request parks in the
+	// one-deep queue and the other 31 shed immediately; wait for the
+	// sheds to land before releasing the blocker.
+	for deadline := time.Now().Add(10 * time.Second); metric(t, ts.URL, "placementd_requests_shed_total") < blast-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("sheds never reached %d", blast-1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if r := <-blockerDone; r.status != http.StatusOK {
+		t.Fatalf("blocking request finished %d:\n%s", r.status, r.body)
+	}
+
+	shed, ok := 0, 0
+	for i, r := range replies {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Fatalf("429 %d without Retry-After", i)
+			}
+			var er struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(r.body, &er); err != nil || er.Error == "" {
+				t.Fatalf("malformed 429 body: %s", r.body)
+			}
+		default:
+			t.Fatalf("blast reply %d: status %d:\n%s", i, r.status, r.body)
+		}
+	}
+	if ok != 1 || shed != blast-1 {
+		t.Fatalf("blast split %d ok / %d shed, want exactly 1 / %d", ok, shed, blast-1)
+	}
+
+	s.BeginDrain()
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		code, body := get(t, ts.URL+probe)
+		if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+			t.Fatalf("%s while draining = %d %q, want 503 draining", probe, code, body)
+		}
+	}
+}
+
+// identityMix covers the three placement families (taps, exact taps,
+// beacons) whose responses must not depend on the worker count.
+func identityMix() []chaosReq {
+	var mix []chaosReq
+	for _, solver := range []string{repro.SolverTapGreedyGain, repro.SolverTapExact, repro.SolverBeaconGreedy} {
+		for _, family := range []string{"waxman", "metro"} {
+			for seed := int64(1); seed <= 2; seed++ {
+				mix = append(mix, chaosReq{solver, family, 16, seed, 0.9})
+			}
+		}
+	}
+	return mix
+}
+
+// normalize strips the effort counters, which are schedule noise
+// across worker counts by design (internal/cover/parallel_test.go
+// documents why), keeping the placement, objective, bound and flags —
+// the bytes the determinism contract covers.
+func normalize(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var sr struct {
+		Result *repro.Result `json:"result"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil || sr.Result == nil {
+		t.Fatalf("response does not decode as a solve response: %v\n%s", err, body)
+	}
+	res := sr.Result
+	res.Stats = repro.Stats{Degraded: res.Stats.Degraded}
+	if res.Taps != nil {
+		res.Taps.Stats = core.SolveStats{Degraded: res.Taps.Stats.Degraded}
+	}
+	if res.Beacons != nil {
+		res.Beacons.Stats = core.SolveStats{Degraded: res.Beacons.Stats.Degraded}
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFaultsDisabledByteIdenticalAcrossWorkerCounts is the
+// fair-weather determinism gate: with no fault registry active, a
+// 1-worker and an 8-worker daemon must answer every request of the
+// identity mix with byte-identical placements.
+func TestFaultsDisabledByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	if fault.Enabled() {
+		t.Fatal("fault registry active at test start; determinism run must be fault-free")
+	}
+	byWorkers := make(map[int][][]byte)
+	mix := identityMix()
+	for _, workers := range []int{1, 8} {
+		s, err := service.New(service.Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		cl := client.New(ts.URL)
+		for _, req := range mix {
+			out, err := cl.Post(context.Background(), "/v1/solve", req.body())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Status != http.StatusOK {
+				t.Fatalf("workers=%d %s %s/%d = %d:\n%s", workers, req.solver, req.family, req.seed, out.Status, out.Body)
+			}
+			byWorkers[workers] = append(byWorkers[workers], normalize(t, out.Body))
+		}
+		ts.Close()
+	}
+	for i, req := range mix {
+		if a, b := byWorkers[1][i], byWorkers[8][i]; !bytes.Equal(a, b) {
+			t.Fatalf("%s %s/%d differs between 1 and 8 workers:\n1: %s\n8: %s", req.solver, req.family, req.seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package chaostest is the fault-injection chaos harness of the
+// repository (DESIGN.md §9): it runs an in-process placementd under
+// seeded internal/fault schedules — handler panics, injected errors
+// and latency, engine task failures, torn cache writes, simulated LP
+// factorization failures — and asserts the robustness invariants that
+// must hold no matter what fires:
+//
+//   - the daemon never dies: every request gets an HTTP response, and
+//     every injected panic is recovered into a counted 500;
+//   - every 200 replay-verifies: the returned placement is re-checked
+//     feasible against a freshly generated instance;
+//   - degraded answers carry provenance (Degraded + FallbackSolver);
+//   - sheds are well-formed (429 with Retry-After and a JSON error
+//     body; 503 with "draining" on the probes once draining);
+//   - torn cache writes are quarantined on reload, never served;
+//   - with faults disabled, responses are byte-identical across
+//     worker counts (the determinism contract is not a fair-weather
+//     property).
+//
+// The storm seeds are fixed so CI failures reproduce exactly; run a
+// different schedule with
+//
+//	go test ./internal/chaostest -fault-seed=7
+//
+// and scale the load with -chaos-requests (default 1000 per seed).
+package chaostest

@@ -58,6 +58,9 @@ type SolveStats struct {
 	// residual coverage is contained in the branched set's), separating
 	// dominance-pruned from bound-pruned work.
 	DominancePrunes int
+	// Degraded counts solves answered by a fallback solver after the
+	// primary errored (the facade's WithFallback ladder).
+	Degraded int
 	// Bound is the best proven bound on the objective; it equals the
 	// objective at optimality and is meaningful only when Proven or an
 	// early-stopped exact search produced it.

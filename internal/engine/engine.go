@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Options configures a Runner. The zero value is usable: GOMAXPROCS
@@ -85,6 +86,7 @@ func (r *Runner) AddStats(st core.SolveStats) {
 	r.stats.SubtreeTasks += st.SubtreeTasks
 	r.stats.Steals += st.Steals
 	r.stats.DominancePrunes += st.DominancePrunes
+	r.stats.Degraded += st.Degraded
 	r.mu.Unlock()
 }
 
@@ -104,12 +106,13 @@ func (r *Runner) Tasks() int64 { return atomic.LoadInt64(&r.tasks) }
 // one instance build shared by a seed's sweep points — should hand the
 // runner a cache). All callers sharing a key receive the same value, so
 // cached computations must produce results that are safe for shared
-// read-only use.
+// read-only use. A compute returning WithoutCaching(v) hands v back
+// without retaining it.
 func (r *Runner) Cached(key string, compute func() (any, error)) (any, error) {
 	if r.cache == nil {
-		return compute()
+		return unwrapUncached(compute())
 	}
-	return r.cache.Do(key, compute)
+	return unwrapUncached(r.cache.Do(key, compute))
 }
 
 // CachedUnlessCanceled memoizes compute like Cached, except that when
@@ -121,15 +124,28 @@ func (r *Runner) Cached(key string, compute func() (any, error)) (any, error) {
 // consults ctx; Cached is for ctx-independent builds.
 func (r *Runner) CachedUnlessCanceled(ctx context.Context, key string, compute func() (any, error)) (any, error) {
 	if r.cache == nil {
-		return compute()
+		return unwrapUncached(compute())
 	}
-	v, err := r.cache.Do(key, func() (any, error) {
+	return unwrapUncached(r.cache.Do(key, func() (any, error) {
 		v, err := compute()
 		if err == nil && ctx.Err() != nil {
 			return nil, &uncachedValue{v}
 		}
 		return v, err
-	})
+	}))
+}
+
+// WithoutCaching wraps v in the error Cached and CachedUnlessCanceled
+// recognize as "return this value to every current waiter, but do not
+// retain it": the single-flight semantics hold for the in-flight
+// callers, and the next caller with the same key computes fresh. It is
+// the mechanism behind both cancellation-degraded solves and
+// fallback-degraded results — values that are usable now but must not
+// masquerade as authoritative later.
+func WithoutCaching(v any) error { return &uncachedValue{v} }
+
+// unwrapUncached converts the WithoutCaching error back into its value.
+func unwrapUncached(v any, err error) (any, error) {
 	var u *uncachedValue
 	if errors.As(err, &u) {
 		return u.v, nil
@@ -141,7 +157,7 @@ func (r *Runner) CachedUnlessCanceled(ctx context.Context, key string, compute f
 // clock-dependent value is returned without being retained.
 type uncachedValue struct{ v any }
 
-func (u *uncachedValue) Error() string { return "engine: value degraded by cancellation, not cached" }
+func (u *uncachedValue) Error() string { return "engine: value returned without caching" }
 
 // Map runs fn(ctx, i) for every i in [0, n) on at most r.Workers()
 // concurrent goroutines and returns the results in index order — the
@@ -163,6 +179,15 @@ func (u *uncachedValue) Error() string { return "engine: value degraded by cance
 // series stays complete, exactly like the serial path.
 func Map[T any](ctx context.Context, r *Runner, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	res, _, err := mapOn(ctx, r, n, func(ctx context.Context, i, _ int) (T, error) {
+		// Inject point: a worker task stalling, erroring, or dying.
+		// Deliberately on Map only, not MapTree — Map's callers handle
+		// task errors through the documented lowest-failing-index path,
+		// while MapTree's tree-search callers fold subtree reports into
+		// exactness proofs and must never see a fabricated failure.
+		if err := fault.Hit(fault.PointEngineTask).Apply(); err != nil {
+			var zero T
+			return zero, err
+		}
 		return fn(ctx, i)
 	})
 	return res, err

@@ -1,0 +1,300 @@
+// Package fault is the repro's seeded, deterministic fault-injection
+// registry: the single sanctioned way to make the production stack
+// fail on purpose. Production code declares named inject points by
+// calling Hit at the place a real failure could occur (a cache read, a
+// worker task, a basis factorization, a request handler); a chaos
+// harness arms a Registry of per-point schedules before the run and
+// reads the per-point counters after it. When no registry is armed —
+// the only state a deployed binary is ever in — Hit is a single atomic
+// pointer load returning the zero Outcome: no allocation, no branch on
+// anything but nil, no schedule evaluation (pinned by
+// TestHitDisabledZeroAlloc).
+//
+// Schedules are deterministic: probabilistic points draw from an
+// explicit *rand.Rand derived from the registry seed and the point
+// name (so the decision stream of one point does not depend on how
+// often other points are hit), and Nth-call points fire on a pure
+// counter. Given a fixed seed and a fixed per-point hit order, the
+// fire pattern is reproducible — which is what lets the chaos suite
+// pin invariants to named seeds in CI.
+//
+// The registry deliberately has no ambient configuration: no
+// environment variables, no testing.Testing() probes, no build tags.
+// Arming is an explicit Activate call, and the placevet faultgate
+// analyzer enforces that the wired packages grow no ad-hoc failure
+// branches beside it.
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical inject-point names. The catalog lives here (not in the
+// packages that hit the points) so a chaos schedule can be written
+// against constants without importing the whole solve stack.
+const (
+	// PointCacheLoad fires once per persisted cache entry read at
+	// startup. Err simulates an unreadable file (the entry is skipped);
+	// Corrupt flips a byte of the file's content before verification,
+	// so the self-certifying envelope must quarantine it.
+	PointCacheLoad = "cache/load"
+	// PointCacheStore fires once per cache entry written through to
+	// disk. Err simulates a failed write (the entry stays memory-only);
+	// Corrupt truncates the payload to half its length — the torn-write
+	// image a crashed writer would leave if rename were not atomic.
+	PointCacheStore = "cache/store"
+	// PointEngineTask fires once per engine.Map task, before the task
+	// function runs. Err fails the task (the batch aborts with the
+	// lowest failing index, exactly like a real task error), Delay
+	// stalls the worker, Panic dies on the worker goroutine (re-raised
+	// on the caller as *engine.TaskPanic).
+	PointEngineTask = "engine/map/task"
+	// PointLPFactor fires once per warm-started simplex solve. A fire
+	// simulates a numerical factorization failure: the warm basis is
+	// discarded and the solve takes the existing cold-start fallback,
+	// which by construction returns the same answer.
+	PointLPFactor = "lp/factor"
+	// PointHandler fires once per admitted service request, before the
+	// solve. Delay simulates a slow handler, Panic a handler crash
+	// (recovered by the service middleware into a 500), Err a handler
+	// failure mapped to a 500.
+	PointHandler = "service/handler"
+)
+
+// Outcome is what one Hit decided. The zero value (Fire == false)
+// means "proceed normally"; call sites only interpret the other fields
+// when Fire is set. Corrupt has no universal meaning — each point
+// documents how its call site interprets it.
+type Outcome struct {
+	// Fire reports whether any schedule of the point fired.
+	Fire bool
+	// Err is the error to inject, nil when the firing schedule carries
+	// none.
+	Err error
+	// Delay is how long the call site should stall before proceeding.
+	Delay time.Duration
+	// Corrupt asks the call site to corrupt its payload.
+	Corrupt bool
+	// Panic asks the call site to panic.
+	Panic bool
+}
+
+// Apply performs the generic parts of an outcome in canonical order:
+// sleep Delay, then panic if Panic, then return Err. Corruption is
+// left to the call site. A zero outcome is a no-op returning nil.
+func (o Outcome) Apply() error {
+	if !o.Fire {
+		return nil
+	}
+	if o.Delay > 0 {
+		time.Sleep(o.Delay)
+	}
+	if o.Panic {
+		panic(fmt.Sprintf("fault: injected panic (%v)", o.Err))
+	}
+	return o.Err
+}
+
+// Schedule describes when one inject point fires and what it injects.
+// Exactly one trigger is consulted: Every (deterministic Nth-call) when
+// positive, else P (per-hit probability). A point may carry several
+// schedules (Registry.Add); each decides independently per hit and the
+// outcomes merge (delays sum, the first fired error wins, Corrupt and
+// Panic OR).
+type Schedule struct {
+	// P is the per-hit fire probability in [0,1], drawn from the
+	// point's seeded generator. Ignored when Every > 0.
+	P float64
+	// Every fires deterministically on every Every-th eligible hit
+	// (the After+Every-th, After+2·Every-th, … overall hit).
+	Every int
+	// After skips the first After hits of the point entirely.
+	After int
+	// Limit caps the total number of fires (0 = unlimited).
+	Limit int
+
+	// Err, Delay, Corrupt and Panic are the injected payload; see
+	// Outcome.
+	Err     error
+	Delay   time.Duration
+	Corrupt bool
+	Panic   bool
+}
+
+// point is the armed state of one inject point.
+type point struct {
+	schedules []Schedule
+	fired     []int64 // per-schedule fire counts
+	rng       *rand.Rand
+	hits      int64
+}
+
+// Registry is an armed set of inject-point schedules plus the hit and
+// fire counters of a run. It is safe for concurrent use.
+type Registry struct {
+	seed int64
+
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// NewRegistry builds an empty registry whose probabilistic decisions
+// derive from seed.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{seed: seed, points: make(map[string]*point)}
+}
+
+// Seed returns the registry's seed.
+func (r *Registry) Seed() int64 { return r.seed }
+
+// Set replaces the schedules of the named point with s.
+func (r *Registry) Set(name string, s Schedule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.pointLocked(name)
+	p.schedules = []Schedule{s}
+	p.fired = make([]int64, 1)
+}
+
+// Add appends one more schedule to the named point; schedules decide
+// independently per hit and their outcomes merge.
+func (r *Registry) Add(name string, s Schedule) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.pointLocked(name)
+	p.schedules = append(p.schedules, s)
+	p.fired = append(p.fired, 0)
+}
+
+// pointLocked returns (creating if needed) the named point. Each point
+// gets its own generator derived from the registry seed and the point
+// name, so one point's decision stream does not shift when another
+// point's hit count changes.
+func (r *Registry) pointLocked(name string) *point {
+	p, ok := r.points[name]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		p = &point{rng: rand.New(rand.NewSource(r.seed ^ int64(h.Sum64())))}
+		r.points[name] = p
+	}
+	return p
+}
+
+// Hits returns how often the named point was hit (scheduled or not).
+func (r *Registry) Hits(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Fired returns how often the named point fired (across all its
+// schedules).
+func (r *Registry) Fired(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.points[name]
+	if !ok {
+		return 0
+	}
+	var n int64
+	for _, f := range p.fired {
+		n += f
+	}
+	return n
+}
+
+// FiredAt returns how often schedule i of the named point fired (0
+// when the point or the index does not exist), letting a harness
+// attribute effects — panics recovered, writes torn — to the one
+// schedule that causes them.
+func (r *Registry) FiredAt(name string, i int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.points[name]
+	if !ok || i < 0 || i >= len(p.fired) {
+		return 0
+	}
+	return p.fired[i]
+}
+
+// Points returns the names of every point the registry has seen
+// (scheduled or merely hit), sorted.
+func (r *Registry) Points() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.points))
+	for n := range r.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// hit records one hit and evaluates the point's schedules.
+func (r *Registry) hit(name string) Outcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := r.pointLocked(name)
+	p.hits++
+	var out Outcome
+	for i, s := range p.schedules {
+		fire := false
+		switch {
+		case p.hits <= int64(s.After):
+		case s.Limit > 0 && p.fired[i] >= int64(s.Limit):
+		case s.Every > 0:
+			fire = (p.hits-int64(s.After))%int64(s.Every) == 0
+		case s.P > 0:
+			fire = p.rng.Float64() < s.P
+		}
+		if !fire {
+			continue
+		}
+		p.fired[i]++
+		out.Fire = true
+		out.Delay += s.Delay
+		if out.Err == nil {
+			out.Err = s.Err
+		}
+		out.Corrupt = out.Corrupt || s.Corrupt
+		out.Panic = out.Panic || s.Panic
+	}
+	return out
+}
+
+// active is the armed registry; nil (the deployed state) makes every
+// Hit a no-op.
+var active atomic.Pointer[Registry]
+
+// Activate arms reg: subsequent Hit calls anywhere in the process
+// evaluate its schedules. Passing nil disarms (same as Deactivate).
+// Chaos harnesses must disarm before their process outlives the run.
+func Activate(reg *Registry) { active.Store(reg) }
+
+// Deactivate disarms fault injection; Hit returns to its zero-cost
+// path.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a registry is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit declares an inject point: production code calls it at the place
+// a real failure could occur and interprets the Outcome. With no
+// registry armed it returns the zero Outcome after one atomic load.
+func Hit(name string) Outcome {
+	reg := active.Load()
+	if reg == nil {
+		return Outcome{}
+	}
+	return reg.hit(name)
+}

@@ -1,0 +1,235 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drives n hits against a fresh registry with the given
+// schedules installed on one point and returns the fire pattern.
+func collect(seed int64, n int, schedules ...Schedule) []bool {
+	r := NewRegistry(seed)
+	for _, s := range schedules {
+		r.Add("p", s)
+	}
+	fires := make([]bool, n)
+	for i := range fires {
+		fires[i] = r.hit("p").Fire
+	}
+	return fires
+}
+
+func TestEveryNthDeterministic(t *testing.T) {
+	fires := collect(1, 10, Schedule{Every: 3, Err: errors.New("x")})
+	want := []bool{false, false, true, false, false, true, false, false, true, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("hit %d: fire=%v, want %v (pattern %v)", i+1, fires[i], want[i], fires)
+		}
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	fires := collect(1, 10, Schedule{Every: 1, After: 3, Limit: 2})
+	want := []bool{false, false, false, true, true, false, false, false, false, false}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("hit %d: fire=%v, want %v (pattern %v)", i+1, fires[i], want[i], fires)
+		}
+	}
+}
+
+func TestProbabilitySeededAndReproducible(t *testing.T) {
+	const n = 2000
+	a := collect(42, n, Schedule{P: 0.25})
+	b := collect(42, n, Schedule{P: 0.25})
+	count := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: same seed diverged", i+1)
+		}
+		if a[i] {
+			count++
+		}
+	}
+	// Loose statistical sanity: 0.25 ± plenty.
+	if count < n/8 || count > n/2 {
+		t.Fatalf("P=0.25 fired %d/%d times", count, n)
+	}
+	c := collect(43, n, Schedule{P: 0.25})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fire patterns")
+	}
+}
+
+func TestPointStreamsIndependent(t *testing.T) {
+	// The fire pattern of point "a" must not change when another point
+	// is interleaved between its hits.
+	solo := NewRegistry(7)
+	solo.Add("a", Schedule{P: 0.5})
+	var want []bool
+	for i := 0; i < 100; i++ {
+		want = append(want, solo.hit("a").Fire)
+	}
+
+	mixed := NewRegistry(7)
+	mixed.Add("a", Schedule{P: 0.5})
+	mixed.Add("b", Schedule{P: 0.5})
+	for i := 0; i < 100; i++ {
+		if got := mixed.hit("a").Fire; got != want[i] {
+			t.Fatalf("hit %d: point a's stream shifted when point b was interleaved", i+1)
+		}
+		mixed.hit("b")
+	}
+}
+
+func TestMultiScheduleMerge(t *testing.T) {
+	r := NewRegistry(1)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	r.Add("p", Schedule{Every: 1, Err: errA, Delay: 10 * time.Millisecond})
+	r.Add("p", Schedule{Every: 1, Err: errB, Delay: 5 * time.Millisecond, Corrupt: true})
+	out := r.hit("p")
+	if !out.Fire {
+		t.Fatal("merged outcome did not fire")
+	}
+	if out.Err != errA {
+		t.Fatalf("Err = %v, want first fired schedule's error %v", out.Err, errA)
+	}
+	if out.Delay != 15*time.Millisecond {
+		t.Fatalf("Delay = %v, want summed 15ms", out.Delay)
+	}
+	if !out.Corrupt {
+		t.Fatal("Corrupt did not OR across schedules")
+	}
+	if r.Fired("p") != 2 {
+		t.Fatalf("Fired = %d, want 2 (both schedules)", r.Fired("p"))
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("p", Schedule{Every: 2})
+	for i := 0; i < 6; i++ {
+		r.hit("p")
+	}
+	r.hit("unscheduled")
+	if got := r.Hits("p"); got != 6 {
+		t.Fatalf("Hits(p) = %d, want 6", got)
+	}
+	if got := r.Fired("p"); got != 3 {
+		t.Fatalf("Fired(p) = %d, want 3", got)
+	}
+	if got := r.Hits("unscheduled"); got != 1 {
+		t.Fatalf("Hits(unscheduled) = %d, want 1", got)
+	}
+	if got := r.Hits("never"); got != 0 {
+		t.Fatalf("Hits(never) = %d, want 0", got)
+	}
+	pts := r.Points()
+	if len(pts) != 2 || pts[0] != "p" || pts[1] != "unscheduled" {
+		t.Fatalf("Points() = %v, want sorted [p unscheduled]", pts)
+	}
+}
+
+func TestSetReplacesAdd(t *testing.T) {
+	r := NewRegistry(1)
+	r.Add("p", Schedule{Every: 1, Corrupt: true})
+	r.Set("p", Schedule{Every: 1, Panic: true})
+	out := r.hit("p")
+	if out.Corrupt {
+		t.Fatal("Set did not replace the earlier Add schedule")
+	}
+	if !out.Panic {
+		t.Fatal("Set schedule did not apply")
+	}
+}
+
+func TestApplyOrder(t *testing.T) {
+	errX := errors.New("x")
+	if err := (Outcome{}).Apply(); err != nil {
+		t.Fatalf("zero outcome Apply = %v, want nil", err)
+	}
+	if err := (Outcome{Fire: true, Err: errX}).Apply(); err != errX {
+		t.Fatalf("Apply = %v, want %v", err, errX)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Apply with Panic did not panic")
+			}
+		}()
+		_ = Outcome{Fire: true, Panic: true, Err: errX}.Apply()
+	}()
+}
+
+func TestActivateHitDeactivate(t *testing.T) {
+	defer Deactivate()
+	if Enabled() {
+		t.Fatal("Enabled before Activate")
+	}
+	if out := Hit("p"); out.Fire {
+		t.Fatal("disabled Hit fired")
+	}
+	r := NewRegistry(1)
+	r.Set("p", Schedule{Every: 1, Corrupt: true})
+	Activate(r)
+	if !Enabled() {
+		t.Fatal("not Enabled after Activate")
+	}
+	if out := Hit("p"); !out.Fire || !out.Corrupt {
+		t.Fatalf("armed Hit = %+v, want fire+corrupt", out)
+	}
+	Deactivate()
+	if out := Hit("p"); out.Fire {
+		t.Fatal("Hit fired after Deactivate")
+	}
+	if got := r.Hits("p"); got != 1 {
+		t.Fatalf("Hits after deactivate = %d, want 1 (deactivated hits must not count)", got)
+	}
+}
+
+// TestHitDisabledZeroAlloc pins the deployed-binary contract: with no
+// registry armed, Hit allocates nothing.
+func TestHitDisabledZeroAlloc(t *testing.T) {
+	Deactivate()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if out := Hit(PointEngineTask); out.Fire {
+			t.Error("disabled Hit fired")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Hit allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	r := NewRegistry(1)
+	r.Set("p", Schedule{Every: 2})
+	const goroutines, per = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.hit("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Hits("p"); got != goroutines*per {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Fired("p"); got != goroutines*per/2 {
+		t.Fatalf("Fired = %d, want %d", got, goroutines*per/2)
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/fault"
 )
 
 // Sense is the optimization direction.
@@ -369,6 +371,16 @@ func (p *Problem) SolveContextFrom(ctx context.Context, basis *Basis) (*Solution
 		return p.solveDense(ctx), nil
 	}
 	var spentIters, spentFactors, spentResets int
+	if basis != nil {
+		// Inject point: a numerically unusable factorization of the warm
+		// basis. Firing discards the basis, forcing the very cold-start
+		// fallback a real singular seed would take — same answer, colder
+		// clock — so chaos runs exercise the fallback without fabricating
+		// wrong numerics.
+		if fault.Hit(fault.PointLPFactor).Fire {
+			basis = nil
+		}
+	}
 	if basis != nil {
 		sol, ok := p.solveRevised(ctx, basis)
 		if ok {

@@ -23,8 +23,10 @@ func TestExactCoverWorkerIdentity(t *testing.T) {
 	fams := scenario.Families()
 	sizes := []int{12, 16}
 	seeds := []int64{3, 8}
+	// Short mode keeps size 16: every size-12 instance closes inside
+	// the serial burn-in, which would trip the vacuity guard below.
 	if testing.Short() {
-		sizes = []int{12}
+		sizes = []int{16}
 		seeds = []int64{3}
 	}
 	type cell struct {

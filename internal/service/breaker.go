@@ -1,0 +1,161 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-solver circuit breaker (DESIGN.md §9). A solver that fails
+// consecutively — errors, or answers only through its fallback ladder —
+// is probably broken in a way that retrying per-request just burns
+// worker slots on; after threshold consecutive failures the breaker
+// opens and requests for that solver fall straight to the degradation
+// ladder without touching the primary. After cooldown one request is
+// let through as a half-open probe: success closes the breaker, failure
+// re-opens it for another cooldown.
+//
+// States:
+//
+//	closed    — normal operation; failures counted, successes reset.
+//	open      — primary skipped entirely; ladder serves. Entered from
+//	            closed after threshold consecutive failures, or from
+//	            half-open on a failed probe (both count as a trip).
+//	half-open — cooldown expired; exactly one in-flight probe decides.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	trips    int64
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// allow reports whether the primary solver may be tried. While open it
+// returns false until cooldown has passed; then it admits exactly one
+// caller as the half-open probe (everyone else keeps falling to the
+// ladder until the probe reports).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports a primary solve that answered without degradation.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure reports a primary failure (error or ladder-served answer).
+// now stamps the re-open time when the breaker trips.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.state = stateOpen
+		b.openedAt = now
+		b.probing = false
+		b.trips++
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = now
+			b.failures = 0
+			b.trips++
+		}
+	}
+}
+
+// isOpen reports whether the breaker currently refuses the primary
+// (open and still cooling down).
+func (b *breaker) isOpen(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateOpen && now.Sub(b.openedAt) < b.cooldown
+}
+
+// breakerSet is the per-solver breaker map.
+type breakerSet struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{threshold: threshold, cooldown: cooldown, m: make(map[string]*breaker)}
+}
+
+// get returns (creating if needed) the named solver's breaker.
+func (s *breakerSet) get(solver string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[solver]
+	if !ok {
+		b = &breaker{threshold: s.threshold, cooldown: s.cooldown}
+		s.m[solver] = b
+	}
+	return b
+}
+
+// Trips returns the total number of open transitions across all
+// solvers; Open counts breakers currently refusing their primary.
+func (s *breakerSet) Trips() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	//placevet:ignore maporder -- integer sum over all values; order-independent
+	for _, b := range s.m {
+		b.mu.Lock()
+		n += b.trips
+		b.mu.Unlock()
+	}
+	return n
+}
+
+func (s *breakerSet) Open(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	//placevet:ignore maporder -- counting a predicate over all values; order-independent
+	for _, b := range s.m {
+		if b.isOpen(now) {
+			n++
+		}
+	}
+	return n
+}

@@ -22,6 +22,11 @@ type metrics struct {
 	requests map[requestKey]*atomic.Int64
 
 	solve solveHistogram
+
+	// degraded counts responses answered by a fallback solver;
+	// panics counts handler panics recovered into 500s.
+	degraded atomic.Int64
+	panics   atomic.Int64
 }
 
 // requestKey labels the requests_total counter.

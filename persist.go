@@ -1,13 +1,17 @@
 package repro
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 )
 
 // Persistent result store: a Runner built WithCacheDir keeps its memo
@@ -17,17 +21,44 @@ import (
 // request. The store is written through the cache's OnStore hook at
 // solve time (crash-safe: an entry is on disk before any waiter sees
 // it) and loaded through Seed at construction. Files are written
-// atomically (temp + rename), and unreadable or corrupt entries are
-// skipped on load: the store is an accelerator, never a correctness
-// dependency.
+// atomically (temp + rename), and every entry is a self-certifying
+// envelope: the canonical key plus a SHA-256 checksum over the result
+// bytes. On load, an entry whose filename, embedded key, checksum, and
+// JSON shape do not all agree is moved to a quarantine/ subdirectory —
+// never served, never deleted (the evidence survives for postmortem) —
+// and counted on the runner; foreign files (wrong extension, non-key
+// names) are skipped silently. The store is an accelerator, never a
+// correctness dependency: a quarantined entry just means one cold
+// re-solve.
 
 // cacheFileExt is the extension of persisted result entries.
 const cacheFileExt = ".json"
 
-// loadCacheDir seeds cache with every decodable entry under dir.
-// Corrupt or foreign files are skipped; a missing dir loads nothing.
-func loadCacheDir(cache *engine.Cache, dir string) (loaded int) {
-	entries, err := os.ReadDir(dir)
+// quarantineDir is the subdirectory corrupt entries are moved to.
+const quarantineDir = "quarantine"
+
+// cacheEnvelope is the on-disk format of one entry. SHA256 certifies
+// Result's exact bytes, so a torn write, a flipped bit, or a file
+// renamed under a different key is detected before the result is ever
+// seeded into the cache.
+type cacheEnvelope struct {
+	Key    string          `json:"key"`
+	SHA256 string          `json:"sha256"`
+	Result json.RawMessage `json:"result"`
+}
+
+// cacheStore binds a directory to the quarantine counter of the runner
+// that owns it.
+type cacheStore struct {
+	dir         string
+	quarantined *atomic.Int64
+}
+
+// load seeds cache with every verified entry under the store's
+// directory. Corrupt entries are quarantined and counted; foreign
+// files are skipped; a missing dir loads nothing.
+func (cs *cacheStore) load(cache *engine.Cache) (loaded int) {
+	entries, err := os.ReadDir(cs.dir)
 	if err != nil {
 		return 0
 	}
@@ -40,33 +71,95 @@ func loadCacheDir(cache *engine.Cache, dir string) (loaded int) {
 		if !validCacheKey(key) {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		// Inject point: a failing or bit-rotted disk under the store.
+		// Err simulates an unreadable file (skipped, like a real read
+		// error); Corrupt flips one byte of the content below, which the
+		// envelope checksum must catch and quarantine.
+		out := fault.Hit(fault.PointCacheLoad)
+		if out.Err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(cs.dir, name))
 		if err != nil {
 			continue
 		}
-		var res Result
-		if err := json.Unmarshal(data, &res); err != nil {
+		if out.Corrupt && len(data) > 0 {
+			data[len(data)/2] ^= 0x40
+		}
+		res, ok := decodeCacheEntry(key, data)
+		if !ok {
+			cs.quarantine(name)
 			continue
 		}
-		if cache.Seed(key, &res) {
+		if cache.Seed(key, res) {
 			loaded++
 		}
 	}
 	return loaded
 }
 
-// saveCacheEntry writes one result under dir, atomically. Persistence
-// is best-effort: on any error the entry simply stays memory-only.
-func saveCacheEntry(dir, key string, value any) {
+// decodeCacheEntry verifies one entry's envelope against the filename
+// key and returns the result it certifies.
+func decodeCacheEntry(key string, data []byte) (*Result, bool) {
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false
+	}
+	if env.Key != key || len(env.Result) == 0 {
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Result)
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// quarantine moves a corrupt entry into the quarantine/ subdirectory
+// (best-effort) and counts it. The file is preserved, not deleted: a
+// corrupt store entry is evidence of a disk or writer bug.
+func (cs *cacheStore) quarantine(name string) {
+	cs.quarantined.Add(1)
+	qdir := filepath.Join(cs.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	os.Rename(filepath.Join(cs.dir, name), filepath.Join(qdir, name))
+}
+
+// save writes one result under the store's directory, atomically.
+// Persistence is best-effort: on any error the entry simply stays
+// memory-only.
+func (cs *cacheStore) save(key string, value any) {
 	res, ok := value.(*Result)
 	if !ok || !validCacheKey(key) {
 		return
 	}
-	data, err := json.Marshal(res)
+	body, err := json.Marshal(res)
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	sum := sha256.Sum256(body)
+	data, err := json.Marshal(cacheEnvelope{Key: key, SHA256: hex.EncodeToString(sum[:]), Result: body})
+	if err != nil {
+		return
+	}
+	// Inject point: a failing disk under the writer. Err drops the write
+	// (entry stays memory-only); Corrupt truncates the payload to half —
+	// the torn image a non-atomic writer would leave — which the next
+	// load must quarantine instead of serving.
+	out := fault.Hit(fault.PointCacheStore)
+	if out.Err != nil {
+		return
+	}
+	if out.Corrupt {
+		data = data[:len(data)/2]
+	}
+	tmp, err := os.CreateTemp(cs.dir, "."+key+".tmp*")
 	if err != nil {
 		return
 	}
@@ -78,7 +171,7 @@ func saveCacheEntry(dir, key string, value any) {
 	if err := tmp.Close(); err != nil {
 		return
 	}
-	os.Rename(tmp.Name(), filepath.Join(dir, key+cacheFileExt))
+	os.Rename(tmp.Name(), filepath.Join(cs.dir, key+cacheFileExt))
 }
 
 // validCacheKey reports whether key looks like a canonical engine key
@@ -99,11 +192,13 @@ func validCacheKey(key string) bool {
 
 // attachCacheDir wires the persistent store to a fresh cache: load
 // first (warm restarts), then install the write-through save hook.
-func attachCacheDir(cache *engine.Cache, dir string) error {
+// Quarantined-entry counts accumulate on quarantined.
+func attachCacheDir(cache *engine.Cache, dir string, quarantined *atomic.Int64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("repro: cache dir: %w", err)
 	}
-	loadCacheDir(cache, dir)
-	cache.SetOnStore(func(key string, value any) { saveCacheEntry(dir, key, value) })
+	cs := &cacheStore{dir: dir, quarantined: quarantined}
+	cs.load(cache)
+	cache.SetOnStore(cs.save)
 	return nil
 }

@@ -1,0 +1,240 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// marshalNoWall marshals a result with the wall clock zeroed: a
+// re-solve reproduces every deterministic field, but not the clock.
+func marshalNoWall(t *testing.T, res *Result) []byte {
+	t.Helper()
+	cp := *res
+	cp.Stats.Wall = 0
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// seedStore solves one instance into dir and returns the persisted
+// entry filenames plus the canonical response bytes.
+func seedStore(t *testing.T, dir string) (files []string, want []byte) {
+	t.Helper()
+	r := NewRunner(WithWorkers(1), WithCacheDir(dir))
+	res, err := r.SolveBatch(context.Background(), SolverTapExact,
+		[]Problem{testInstance(t, 1)}, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = marshalNoWall(t, res[0])
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), cacheFileExt) {
+			files = append(files, de.Name())
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("cold solve persisted no entries")
+	}
+	return files, want
+}
+
+// resolveAfter restarts a runner over dir, re-solves the same problem,
+// and returns the runner and its response bytes.
+func resolveAfter(t *testing.T, dir string) (*Runner, []byte) {
+	t.Helper()
+	r := NewRunner(WithWorkers(1), WithCacheDir(dir))
+	res, err := r.SolveBatch(context.Background(), SolverTapExact,
+		[]Problem{testInstance(t, 1)}, WithCoverage(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, marshalNoWall(t, res[0])
+}
+
+// TestCacheDirCorruptEntriesQuarantined covers the WithCacheDir
+// corruption ladder: truncated, bit-flipped, and wrong-key entries must
+// each be quarantined (moved, counted), never served, and the re-solve
+// must reproduce the original answer byte-for-byte.
+func TestCacheDirCorruptEntriesQuarantined(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mangle func(data []byte) []byte
+		rename bool
+	}{
+		{name: "truncated", mangle: func(d []byte) []byte { return d[:len(d)/2] }},
+		{name: "bit-flipped", mangle: func(d []byte) []byte {
+			out := append([]byte(nil), d...)
+			out[len(out)/2] ^= 0x01
+			return out
+		}},
+		{name: "wrong-key", rename: true},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			files, want := seedStore(t, dir)
+			victim := files[0]
+			path := filepath.Join(dir, victim)
+			quarantined := victim
+			if tc.rename {
+				// A valid-looking key that does not match the envelope's
+				// embedded key: the self-certification must reject it.
+				wrong := strings.Repeat("ab", 32) + cacheFileExt
+				if err := os.Rename(path, filepath.Join(dir, wrong)); err != nil {
+					t.Fatal(err)
+				}
+				quarantined = wrong
+			} else {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, tc.mangle(data), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			r, got := resolveAfter(t, dir)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("re-solve after %s corruption differs:\nwant %s\ngot  %s", tc.name, want, got)
+			}
+			if n := r.CacheQuarantined(); n != 1 {
+				t.Fatalf("CacheQuarantined = %d, want 1", n)
+			}
+			if hits, _ := r.CacheCounts(); hits != 0 {
+				t.Fatalf("cache hits = %d, want 0 (corrupt entry must not be served)", hits)
+			}
+			if _, err := os.Stat(filepath.Join(dir, quarantineDir, quarantined)); err != nil {
+				t.Fatalf("corrupt entry not preserved in quarantine/: %v", err)
+			}
+			// The re-solve rewrote a fresh, verifiable entry under the
+			// real key (wrong-key corruption leaves no file under the
+			// bogus name).
+			if tc.rename {
+				if _, err := os.Stat(filepath.Join(dir, quarantined)); !os.IsNotExist(err) {
+					t.Fatalf("bogus-key file still present in the store: %v", err)
+				}
+			} else {
+				data, err := os.ReadFile(filepath.Join(dir, victim))
+				if err != nil {
+					t.Fatalf("fresh entry missing after re-solve: %v", err)
+				}
+				key := strings.TrimSuffix(victim, cacheFileExt)
+				if _, ok := decodeCacheEntry(key, data); !ok {
+					t.Fatal("re-solved store entry does not verify")
+				}
+			}
+		})
+	}
+}
+
+// TestCacheDirForeignFilesSkippedSilently pins the skip-vs-quarantine
+// boundary: files that are not store entries at all (wrong extension,
+// non-key names) are left alone and not counted.
+func TestCacheDirForeignFilesSkippedSilently(t *testing.T) {
+	dir := t.TempDir()
+	_, want := seedStore(t, dir)
+	for name, content := range map[string]string{
+		"notes.txt":  "operator scribbles",
+		"short.json": "{}",
+		"UPPERCASE" + strings.Repeat("0", 55) + ".json": "{}",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, got := resolveAfter(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatal("foreign files changed the served result")
+	}
+	if n := r.CacheQuarantined(); n != 0 {
+		t.Fatalf("CacheQuarantined = %d, want 0 (foreign files are skipped, not quarantined)", n)
+	}
+	if hits, _ := r.CacheCounts(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1 (real entry must still be served)", hits)
+	}
+	for _, name := range []string{"notes.txt", "short.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("foreign file %s was touched: %v", name, err)
+		}
+	}
+}
+
+// TestCacheStoreTornWriteFaultQuarantinedOnReload drives the
+// cache/store inject point: a torn write must be caught by the next
+// load's checksum and quarantined, with the re-solve correct.
+func TestCacheStoreTornWriteFaultQuarantinedOnReload(t *testing.T) {
+	dir := t.TempDir()
+	reg := fault.NewRegistry(1)
+	reg.Set(fault.PointCacheStore, fault.Schedule{Every: 1, Corrupt: true})
+	fault.Activate(reg)
+	_, want := func() ([]string, []byte) {
+		defer fault.Deactivate()
+		return seedStore(t, dir)
+	}()
+
+	r, got := resolveAfter(t, dir)
+	if !bytes.Equal(got, want) {
+		t.Fatal("re-solve after torn write differs from original")
+	}
+	if n := r.CacheQuarantined(); n == 0 {
+		t.Fatal("torn write was not quarantined on reload")
+	}
+	if hits, _ := r.CacheCounts(); hits != 0 {
+		t.Fatalf("cache hits = %d, want 0 (torn entry must not be served)", hits)
+	}
+}
+
+// TestCacheLoadFaults drives the cache/load inject point in both
+// modes: Err skips the entry (cold re-solve, nothing quarantined —
+// the file may be fine, the read failed), Corrupt trips the checksum
+// and quarantines.
+func TestCacheLoadFaults(t *testing.T) {
+	t.Run("read-error-skips", func(t *testing.T) {
+		dir := t.TempDir()
+		files, want := seedStore(t, dir)
+		reg := fault.NewRegistry(1)
+		reg.Set(fault.PointCacheLoad, fault.Schedule{Every: 1, Err: os.ErrPermission})
+		fault.Activate(reg)
+		defer fault.Deactivate()
+		r, got := resolveAfter(t, dir)
+		if !bytes.Equal(got, want) {
+			t.Fatal("re-solve after injected read error differs")
+		}
+		if n := r.CacheQuarantined(); n != 0 {
+			t.Fatalf("CacheQuarantined = %d, want 0 for a read error", n)
+		}
+		if _, err := os.Stat(filepath.Join(dir, files[0])); err != nil {
+			t.Fatalf("entry moved on a mere read error: %v", err)
+		}
+	})
+	t.Run("corrupt-quarantines", func(t *testing.T) {
+		dir := t.TempDir()
+		_, want := seedStore(t, dir)
+		reg := fault.NewRegistry(1)
+		reg.Set(fault.PointCacheLoad, fault.Schedule{Every: 1, Corrupt: true})
+		fault.Activate(reg)
+		defer fault.Deactivate()
+		r, got := resolveAfter(t, dir)
+		if !bytes.Equal(got, want) {
+			t.Fatal("re-solve after injected corruption differs")
+		}
+		if n := r.CacheQuarantined(); n != 1 {
+			t.Fatalf("CacheQuarantined = %d, want 1", n)
+		}
+	})
+}

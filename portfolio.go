@@ -69,9 +69,12 @@ func (p *Portfolio) Solve(ctx context.Context, problem Problem, opts ...Option) 
 	// The race runs on the scenario engine with one worker per member
 	// (a portfolio's whole point is concurrent members under a shared
 	// deadline); member failures are collected, not fatal, so the task
-	// function never errors. Map returns outcomes in member order, which
-	// keeps the best-result scan below deterministic.
-	outcomes, _ := engine.Map(ctx, engine.New(engine.Options{Workers: len(solvers)}),
+	// function never errors on its own — but the engine itself can fail
+	// a task (fault injection at the engine/map/task point), and that
+	// error must not vanish into an empty outcome scan.
+	// Map returns outcomes in member order, which keeps the best-result
+	// scan below deterministic.
+	outcomes, mapErr := engine.Map(ctx, engine.New(engine.Options{Workers: len(solvers)}),
 		len(solvers), func(ctx context.Context, i int) (outcome, error) {
 			// Deadline options are already on ctx; members receive the
 			// remaining (non-deadline) knobs through opts.
@@ -82,6 +85,9 @@ func (p *Portfolio) Solve(ctx context.Context, problem Problem, opts ...Option) 
 			}
 			return outcome{res, err}, nil
 		})
+	if mapErr != nil {
+		return nil, fmt.Errorf("%s: %w", p.name, mapErr)
+	}
 
 	var best *Result
 	var errs []error

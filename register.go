@@ -237,6 +237,7 @@ func solveStats(st core.SolveStats) Stats {
 		SubtreeTasks:     st.SubtreeTasks,
 		Steals:           st.Steals,
 		DominancePrunes:  st.DominancePrunes,
+		Degraded:         st.Degraded,
 	}
 }
 

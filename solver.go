@@ -67,6 +67,10 @@ type Stats struct {
 	// DominancePrunes is the number of set exclusions applied by the
 	// dominance and symmetry reductions of the combinatorial search.
 	DominancePrunes int
+	// Degraded counts solves answered by a fallback solver after the
+	// primary errored (1 for a single degraded Solve; summed across a
+	// batch). See WithFallback.
+	Degraded int
 }
 
 // Result is the unified outcome of a Solve: the placement for the
@@ -100,6 +104,14 @@ type Result struct {
 	Optimal bool
 	// Stats carries the effort counters.
 	Stats Stats
+
+	// Degraded is true when the primary solver failed and this result
+	// came from a fallback in the WithFallback ladder; FallbackSolver
+	// then names the solver that actually answered (Solver keeps the
+	// name the caller asked for, so provenance survives downstream
+	// routing on the requested solver).
+	Degraded       bool
+	FallbackSolver string
 }
 
 // Devices returns the number of devices (taps, sampling devices, or
@@ -143,6 +155,11 @@ type Options struct {
 	Seed int64
 	// MaxNodes caps branch-and-bound nodes (0 = solver default).
 	MaxNodes int
+	// Fallback is the graceful-degradation ladder: registered solver
+	// names tried in order when the primary solve errors (see
+	// WithFallback). Results answered by the ladder are stamped
+	// Degraded and are never memoized.
+	Fallback []string
 }
 
 // Option mutates Options; see WithDeadline and friends.
@@ -176,6 +193,17 @@ func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
 
 // WithMaxNodes caps the branch-and-bound node budget.
 func WithMaxNodes(n int) Option { return func(o *Options) { o.MaxNodes = n } }
+
+// WithFallback installs a graceful-degradation ladder: when the
+// primary solver returns an error (including a timeout with no
+// incumbent to degrade to), Solve and SolveBatch fall through the
+// named registered solvers in order and return the first success,
+// stamped Degraded with FallbackSolver provenance. When the whole
+// ladder fails too, the joined errors surface. Degraded results are
+// never cached: once the primary recovers, fresh solves win again.
+func WithFallback(solvers ...string) Option {
+	return func(o *Options) { o.Fallback = append([]string(nil), solvers...) }
+}
 
 // BuildOptions applies opts to the defaults and returns the resulting
 // Options (exported so custom Solver implementations can reuse it).
@@ -271,7 +299,7 @@ func Solve(ctx context.Context, solver string, problem Problem, opts ...Option) 
 	if err != nil {
 		return nil, err
 	}
-	return s.Solve(ctx, problem, opts...)
+	return solveWithFallback(ctx, s, problem, opts)
 }
 
 // SolverFunc adapts a plain function into a registrable Solver. The
