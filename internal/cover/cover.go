@@ -141,6 +141,13 @@ type Result struct {
 	// pruned from bound-pruned work. Schedule-dependent like Nodes when
 	// Workers > 1.
 	DominancePrunes int
+	// Pivots is the total simplex iterations of the root LP solves
+	// (0 when the LP was skipped).
+	Pivots int
+	// WarmStarts counts the warm artifacts the solve applied: an
+	// adopted incumbent hint and a root LP completed on a seeded basis
+	// each count one. Always 0 for cold solves.
+	WarmStarts int
 }
 
 // GreedyPartial runs the classical greedy for Minimum Partial Cover: it
@@ -228,6 +235,35 @@ type ExactOptions struct {
 	// reductions (including the symmetry break on residual-identical
 	// sets).
 	NoDominance bool
+	// Warm carries artifacts from a previous solve of a related
+	// instance (nil = cold solve). Artifacts are revalidated against
+	// THIS instance before use, so a stale Warm can only cost time,
+	// never correctness — and never the answer: the returned cover is
+	// byte-identical to a cold solve's whenever both prove optimality
+	// (see the reconstruction phase in Exact).
+	Warm *Warm
+	// Capture, when non-nil, receives artifacts of this solve for a
+	// future warm re-solve. Capturing never changes the solve itself.
+	Capture *Capture
+}
+
+// Warm is the artifact bundle a warm solve may reuse.
+type Warm struct {
+	// Hint is a candidate cover (set indices) from a previous solve of
+	// a related instance. It is feasibility-checked against this
+	// instance and adopted as the starting incumbent only when valid
+	// and strictly shorter than the greedy warm start.
+	Hint []int
+	// Basis seeds the root LP via lp.SolveContextFrom. A basis whose
+	// shape no longer matches (the mutation changed the LP dimensions)
+	// falls back to a cold LP solve inside the lp package.
+	Basis *lp.Basis
+}
+
+// Capture receives artifacts of a solve for reuse by a later warm one.
+type Capture struct {
+	// Basis is the final root LP basis (nil when the LP never ran).
+	Basis *lp.Basis
 }
 
 // Exact solves Minimum Partial Cover exactly with branch and bound:
@@ -319,14 +355,160 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 		}
 	}
 	s.rootExcluded, s.forced = excluded, forced
+	s.capture = opts.Capture
 	s.prepareGains(covered, excluded, !opts.NoDominance)
 	if !opts.NoDualBound {
 		s.prepareDualBound(excluded, covered, coveredW)
 	}
+	// The reconstruction phase needs dual state that depends on the
+	// instance only; strengthenDualBound tightens (φ, λ) against the
+	// evolving incumbent, so the pre-search values are frozen here.
+	basePhi, baseLambda, baseUncov0 := s.dualPhi, s.dualLambda, s.dualUncov0
 
+	// Warm injection (value phase only): a previous solve's artifacts
+	// may shortcut the optimality proof, but the final answer never
+	// depends on them — only the proven optimum value flows into the
+	// reconstruction below, and a capped warm solve reports Exact=false
+	// exactly like a capped cold one.
+	proven := false
+	if w := opts.Warm; w != nil {
+		if hw, ok := hintCovered(in, w.Hint); ok && hw >= target-coverTol(target) && len(w.Hint) < s.bestLen {
+			s.best = append([]int(nil), w.Hint...)
+			s.bestLen = len(w.Hint)
+			s.warmStarts++
+		}
+		if s.haveRootLB && s.bestLen <= s.rootLB {
+			proven = true // the dual root bound already meets the hint
+		}
+		// Eager root LP — ONLY when the saved basis fits this instance's
+		// relaxation exactly, so the solve is a cheap dual repair whose
+		// bound can prove the hint optimal on the spot and skip every
+		// value phase. Warmth must never pay work the cold control flow
+		// would skip (most cold solves close in the serial burn-in with
+		// no LP at all), so a shape mismatch does NOT fall back to a
+		// cold LP here: the basis just waits for the phase-2 decision
+		// point the cold flow reaches anyway.
+		if !proven && w.Basis != nil {
+			if p, xs := buildRootLP(s.in, s.target, excluded, forced); w.Basis.Fits(p) {
+				if z, dj, sol, ok := solveRootLP(s.ctx, p, xs, w.Basis); ok {
+					s.lpTried = true
+					s.noteRootLP(z, dj, sol)
+					if s.bestLen <= s.rootLB {
+						proven = true
+					}
+				}
+			}
+		}
+		s.seedBasis = w.Basis
+	}
+	if !proven {
+		s.runValuePhases(opts, workers, excluded, covered, coveredW, forced)
+	}
+	if s.capped || s.ctx.Err() != nil {
+		// Capped or canceled: the best incumbent with Exact=false, the
+		// historical behaviour, byte-identical to the pre-session solver
+		// for cold solves.
+		return s.resultOn(in)
+	}
+
+	// Value phase proved optimality: opt is a property of the instance
+	// alone, however the proof was reached.
+	opt := s.bestLen
+	if opt >= len(greedy.Chosen) {
+		// The greedy cover is itself optimal. The search only ever
+		// adopts strictly shorter covers, so s.best IS greedy.Chosen:
+		// already canonical, no reconstruction needed.
+		return s.resultOn(in)
+	}
+
+	// Reconstruction phase: re-derive the RETURNED cover from
+	// (instance, opt) alone, so the answer is identical whether the
+	// proof above ran cold or warm. The fresh serial search uses only
+	// instance-deterministic pruning state (presolve, residual gains,
+	// disjoint families, the pre-search dual pair — never LP reduced-
+	// cost bans, whose values depend on the basis the simplex happened
+	// to end on) with the proven optimum as a perfect bound: the first
+	// accepted cover has exactly opt sets and stops the search.
+	r := &exactSearch{
+		ctx:     ctx,
+		in:      s.in,
+		target:  s.target,
+		tol:     s.tol,
+		best:    append([]int(nil), greedy.Chosen...),
+		bestLen: opt + 1,
+		maxN:    opts.MaxNodes,
+
+		rootLB:       opt,
+		haveRootLB:   true,
+		rootExcluded: s.rootExcluded,
+		forced:       s.forced,
+
+		dualPhi:    basePhi,
+		dualLambda: baseLambda,
+		dualUncov0: baseUncov0,
+
+		setMasks:     s.setMasks,
+		elemCoverers: s.elemCoverers,
+		elemOrder:    s.elemOrder,
+		permPos:      s.permPos,
+		permCovered:  s.permCovered,
+		disjointUsed: s.disjointUsed,
+		gains:        s.gains,
+		elemSets:     s.elemSets,
+
+		frontierDepth: -1,
+	}
+	r.search(covered, coveredW, baseUncov0, forced)
+	if r.doneOptimal {
+		res := r.resultOn(in)
+		res.Nodes += s.nodes
+		res.DominancePrunes += s.domPrunes
+		res.SubtreeTasks = s.subtreeTasks
+		res.Steals = s.steals
+		res.Pivots = s.pivots
+		res.WarmStarts = s.warmStarts
+		res.SetsBanned = countBans(s.banned)
+		return res
+	}
+	if ctx.Err() != nil {
+		// Canceled mid-reconstruction: degrade to the value phase's
+		// incumbent — an optimal cover, conservatively reported
+		// Exact=false like every canceled search.
+		s.capped = true
+		res := s.resultOn(in)
+		res.Nodes += r.nodes
+		res.DominancePrunes += r.domPrunes
+		return res
+	}
+	// The reconstruction exhausted its own node budget before accepting
+	// a cover (pathological: its pruning bound is perfect). Fall back to
+	// the greedy cover — deterministic on both the cold and warm path —
+	// and report Exact=false: the optimum value was proven but the
+	// canonical witness was not reproduced within budget.
+	g := greedy
+	g.Exact = false
+	g.Nodes = s.nodes + r.nodes
+	g.DominancePrunes = s.domPrunes + r.domPrunes
+	g.SubtreeTasks = s.subtreeTasks
+	g.Steals = s.steals
+	g.Pivots = s.pivots
+	g.WarmStarts = s.warmStarts
+	g.SetsBanned = countBans(s.banned)
+	return g
+}
+
+// runValuePhases runs the four historical search phases (DESIGN.md §4a)
+// that prove the optimum value (or exhaust the budget): serial burn-in,
+// root LP strengthening, frontier expansion, parallel subtrees. On
+// return either s.capped (budget/cancel) or optimality is proven with
+// s.bestLen the optimum. A warm caller may have already paid the root
+// LP (s.lpTried); the phase-2 decision point then skips it.
+func (s *exactSearch) runValuePhases(opts ExactOptions, workers int, excluded []bool, covered bitset, coveredW float64, forced []int) {
 	// Phase 1 — serial burn-in: the strengthened serial search with a
 	// fixed node budget. Most instances close here; the budget (not a
-	// wall clock) keeps the phase boundary deterministic.
+	// wall clock) keeps the phase boundary deterministic. An eager warm
+	// caller arrives with the root LP already paid (s.lpTried) and its
+	// bans active, so its burn-in searches a tighter tree.
 	burnIn := coverLPTrigger
 	if burnIn > opts.MaxNodes {
 		burnIn = opts.MaxNodes
@@ -335,7 +517,7 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 	s.search(covered, coveredW, s.dualUncov0, forced)
 	if !s.capped || s.ctx.Err() != nil || burnIn >= opts.MaxNodes {
 		// Closed, canceled, or the real node budget is exhausted.
-		return s.resultOn(in)
+		return
 	}
 
 	// Phase 2 — root strengthening at a deterministic decision point:
@@ -344,18 +526,14 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 	// against the burn-in incumbent before any parallelism starts, so
 	// they cannot leak schedule timing into branch selection.
 	s.capped = false
-	s.lpTried = true
-	if z, dj, ok := rootLP(ctx, s.in, s.target, excluded, forced); ok {
-		s.lpZ, s.lpDj = z, dj
-		if rlb := int(math.Ceil(z - 1e-6)); rlb > s.rootLB {
-			s.rootLB = rlb
+	if !s.lpTried {
+		s.lpTried = true
+		if z, dj, sol, ok := rootLP(s.ctx, s.in, s.target, excluded, forced, s.seedBasis); ok {
+			s.noteRootLP(z, dj, sol)
 		}
-		s.haveRootLB = s.rootLB >= 1
-		s.banned = make([]bool, len(s.in.Sets))
-		s.refreshBans()
-		if s.bestLen <= s.rootLB {
-			return s.resultOn(in) // burn-in incumbent meets the bound
-		}
+	}
+	if s.lpDj != nil && s.bestLen <= s.rootLB {
+		return // the incumbent meets the LP bound
 	}
 	if !opts.NoDualBound && s.lpDj == nil {
 		// Same decision point, for the instances the LP row cap turned
@@ -365,7 +543,7 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 		// climb could only waste the time it costs.
 		s.strengthenDualBound(excluded, covered, coveredW)
 		if s.bestLen <= s.rootLB {
-			return s.resultOn(in)
+			return
 		}
 	}
 
@@ -385,12 +563,76 @@ func Exact(ctx context.Context, in Instance, target float64, opts ExactOptions) 
 	s.frontierDepth = -1
 	if len(s.tasks) == 0 || s.capped || s.doneOptimal || s.ctx.Err() != nil {
 		// The depth-limited walk closed (or capped) the search itself.
-		return s.resultOn(in)
+		return
 	}
 
 	// Phase 4 — parallel subtree search with deterministic merge.
 	s.runSubtrees(workers, opts.MaxNodes)
-	return s.resultOn(in)
+}
+
+// noteRootLP installs a successful root LP's artifacts: objective bound,
+// reduced-cost bans, effort counters, and the captured basis.
+func (s *exactSearch) noteRootLP(z float64, dj []float64, sol *lp.Solution) {
+	s.lpZ, s.lpDj = z, dj
+	s.pivots += sol.Iterations
+	if sol.Warm {
+		s.warmStarts++
+	}
+	if s.capture != nil {
+		s.capture.Basis = sol.Basis()
+	}
+	if rlb := int(math.Ceil(z - 1e-6)); rlb > s.rootLB {
+		s.rootLB = rlb
+	}
+	s.haveRootLB = s.rootLB >= 1
+	s.banned = make([]bool, len(s.in.Sets))
+	s.refreshBans()
+}
+
+// hintCovered validates a warm cover hint against the instance: every
+// index in range, and returns the total weight the hinted sets cover.
+func hintCovered(in Instance, hint []int) (float64, bool) {
+	if len(hint) == 0 {
+		return 0, false
+	}
+	covered := newBitset(in.NumElements)
+	w := 0.0
+	for _, si := range hint {
+		if si < 0 || si >= len(in.Sets) {
+			return 0, false
+		}
+		for _, e := range in.Sets[si] {
+			if !covered.get(e) {
+				covered.set(e)
+				w += in.weight(e)
+			}
+		}
+	}
+	return w, true
+}
+
+// lpRowsOK reports whether the instance is small enough for a cold root
+// LP (rootLPRowCap); a seeded basis bypasses the cap, since the warm
+// solve is expected to finish in a handful of dual pivots.
+func lpRowsOK(in Instance) bool {
+	rows := 0
+	for e := 0; e < in.NumElements; e++ {
+		if !lp.StructZero(in.weight(e)) {
+			rows++
+		}
+	}
+	return rows <= rootLPRowCap
+}
+
+// countBans counts the sets excluded by reduced-cost fixing.
+func countBans(banned []bool) int {
+	n := 0
+	for _, b := range banned {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // frontierDepth is the branching depth at which the tree is cut into
@@ -650,6 +892,14 @@ type exactSearch struct {
 	subtreeTasks int
 	steals       int
 
+	// Root LP effort and warm-artifact counters (root search only), and
+	// the caller's capture sink for the final root LP basis. seedBasis
+	// warm-starts the phase-2 root LP when a previous solve shipped one.
+	pivots     int
+	warmStarts int
+	capture    *Capture
+	seedBasis  *lp.Basis
+
 	// Disjoint-elements bound state (full covers only): per-element
 	// covering-set bitmaps in a processing order of increasing coverer
 	// count. Elements pairwise sharing no covering set each require a
@@ -840,19 +1090,23 @@ func (s *exactSearch) refreshBans() {
 // rootLP solves the LP relaxation of the (reduced) partial-cover
 // instance: min Σ x_s subject to δ_e ≤ Σ_{s∋e} x_s, Σ w_e·δ_e ≥ target,
 // x over the non-excluded sets (forced sets pinned to 1). It returns
-// the objective and the per-set reduced costs for reduced-cost fixing;
-// ok is false when the LP was canceled or failed (the search then just
-// runs unstrenghtened).
-func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, forced []int) (z float64, dj []float64, ok bool) {
-	rows := 0
-	for e := 0; e < in.NumElements; e++ {
-		if !lp.StructZero(in.weight(e)) {
-			rows++
-		}
+// the objective, the per-set reduced costs for reduced-cost fixing, and
+// the lp solution (effort counters, final basis); ok is false when the
+// LP was canceled or failed (the search then just runs unstrenghtened).
+// A non-nil seed warm-starts the simplex from a previous solve's basis;
+// a shape mismatch falls back to a cold solve inside lp.
+func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, forced []int, seed *lp.Basis) (z float64, dj []float64, lpSol *lp.Solution, ok bool) {
+	if seed == nil && !lpRowsOK(in) {
+		return 0, nil, nil, false
 	}
-	if rows > rootLPRowCap {
-		return 0, nil, false
-	}
+	p, xs := buildRootLP(in, target, excluded, forced)
+	return solveRootLP(ctx, p, xs, seed)
+}
+
+// buildRootLP constructs the root relaxation without solving it, so the
+// eager warm path can shape-check a saved basis against the problem it
+// would actually seed before committing to any simplex work.
+func buildRootLP(in Instance, target float64, excluded []bool, forced []int) (*lp.Problem, []lp.Var) {
 	p := lp.NewProblem(lp.Minimize)
 	p.SetExtractDuals(true)
 	xs := make([]lp.Var, len(in.Sets))
@@ -899,15 +1153,21 @@ func rootLP(ctx context.Context, in Instance, target float64, excluded []bool, f
 		p.AddConstraint(lp.GE, 0, terms...)
 	}
 	p.AddConstraint(lp.GE, target, covTerms...)
-	sol, err := p.SolveContext(ctx)
+	return p, xs
+}
+
+// solveRootLP solves a built root relaxation (optionally warm-seeded)
+// and extracts the per-set reduced costs.
+func solveRootLP(ctx context.Context, p *lp.Problem, xs []lp.Var, seed *lp.Basis) (z float64, dj []float64, lpSol *lp.Solution, ok bool) {
+	sol, err := p.SolveContextFrom(ctx, seed)
 	if err != nil || sol.Status != lp.Optimal || sol.ReducedCosts == nil {
-		return 0, nil, false
+		return 0, nil, nil, false
 	}
-	dj = make([]float64, len(in.Sets))
-	for si := range in.Sets {
+	dj = make([]float64, len(xs))
+	for si := range xs {
 		dj[si] = sol.ReducedCosts[xs[si]]
 	}
-	return sol.Objective, dj, true
+	return sol.Objective, dj, sol, true
 }
 
 // mergeSignatures collapses elements covered by exactly the same sets

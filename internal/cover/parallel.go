@@ -235,6 +235,8 @@ func (s *exactSearch) resultOn(orig Instance) Result {
 		SubtreeTasks:    s.subtreeTasks,
 		Steals:          s.steals,
 		DominancePrunes: s.domPrunes,
+		Pivots:          s.pivots,
+		WarmStarts:      s.warmStarts,
 	}
 	for _, b := range s.banned {
 		if b {

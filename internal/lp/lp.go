@@ -303,6 +303,26 @@ type Basis struct {
 	m, n   int
 }
 
+// Fits reports whether the basis snapshot matches p's standard form —
+// the precondition for SolveContextFrom's warm path to engage rather
+// than discard the seed. SolveContextFrom already degrades to a cold
+// solve on mismatch; Fits is for callers deciding whether to pay for an
+// OPTIONAL solve at all: an LP worth running only when it will be a
+// cheap warm repair must be skipped, not solved cold, on mismatch.
+func (b *Basis) Fits(p *Problem) bool {
+	if b == nil {
+		return false
+	}
+	m := len(p.rows)
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+	}
+	return b.m == m && b.n == len(p.names)+nSlack+m
+}
+
 // ErrNoVariables is returned when Solve is called on an empty problem.
 var ErrNoVariables = errors.New("lp: problem has no variables")
 

@@ -1,0 +1,260 @@
+package mip
+
+import "repro/internal/lp"
+
+// This file implements cross-solve warm-start artifacts: cutting planes
+// and pseudo-cost tables captured from one solve and re-seeded into a
+// later one. Together with Options.Incumbent (a prior solution as the
+// starting bound) and the per-node basis warm starts the tree already
+// performs, these are the re-optimization artifacts a session layer
+// carries across churn steps.
+//
+// Validity contract: a seeded cut must be a valid inequality for the
+// problem it is seeded into. Captured cuts are guaranteed valid only
+// for the EXACT problem they were captured from — presolve fixes
+// variables deterministically, so the original-space round trip is
+// exact on an identical model — and for mutations that provably
+// preserve them (identical constraint matrix). A mutation that changes
+// constraint coefficients (e.g. a traffic rescale reweighting knapsack
+// rows) can make a captured cover cut slice off feasible points, which
+// silently corrupts the answer; such solves must re-separate from
+// scratch. Pseudo-cost seeds and incumbents are heuristic (they steer
+// branching and pruning, never the feasible set), so stale seeds cost
+// time, not correctness — but an incumbent is re-validated before use
+// and dropped when infeasible.
+
+// Cut is one ≤ cutting plane in the caller's (original) variable
+// space: Σ Terms ≤ RHS. Solution.Cuts returns the root cuts of a solve
+// in this form when Options.CaptureCuts is set; Options.SeedCuts
+// injects them into a later solve.
+type Cut struct {
+	Terms []lp.Term
+	RHS   float64
+}
+
+// PseudoSnapshot is a portable copy of the pseudo-cost branching state
+// in the caller's variable space: per-variable, per-direction sums and
+// observation counts of the normalized bound degradations (the global
+// averages are recomputed from the sums on seeding). Captured via
+// Options.CapturePseudo, re-seeded via Options.SeedPseudo.
+type PseudoSnapshot struct {
+	DownSum, UpSum []float64
+	DownN, UpN     []int
+}
+
+// Observations reports the total number of recorded branching
+// observations (both directions).
+func (s *PseudoSnapshot) Observations() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range s.DownN {
+		n += c
+	}
+	for _, c := range s.UpN {
+		n += c
+	}
+	return n
+}
+
+// snapshot deep-copies the live pseudo-cost table (reduced space; the
+// caller lifts it to the original space).
+func (pc *pseudoCosts) snapshot() *PseudoSnapshot {
+	n := len(pc.dnSum)
+	s := &PseudoSnapshot{
+		DownSum: make([]float64, n),
+		UpSum:   make([]float64, n),
+		DownN:   make([]int, n),
+		UpN:     make([]int, n),
+	}
+	copy(s.DownSum, pc.dnSum)
+	copy(s.UpSum, pc.upSum)
+	copy(s.DownN, pc.dnCnt)
+	copy(s.UpN, pc.upCnt)
+	return s
+}
+
+// seed loads a snapshot into a fresh pseudo-cost table and rebuilds the
+// global averages from the per-variable sums. It reports whether any
+// observation was loaded; a shape mismatch loads nothing.
+func (pc *pseudoCosts) seed(snap *PseudoSnapshot) bool {
+	n := len(pc.dnSum)
+	if snap == nil || len(snap.DownSum) != n || len(snap.UpSum) != n ||
+		len(snap.DownN) != n || len(snap.UpN) != n {
+		return false
+	}
+	any := false
+	for j := 0; j < n; j++ {
+		pc.dnSum[j], pc.upSum[j] = snap.DownSum[j], snap.UpSum[j]
+		pc.dnCnt[j], pc.upCnt[j] = snap.DownN[j], snap.UpN[j]
+		pc.totDn += snap.DownSum[j]
+		pc.totUp += snap.UpSum[j]
+		pc.nDn += snap.DownN[j]
+		pc.nUp += snap.UpN[j]
+		if snap.DownN[j] > 0 || snap.UpN[j] > 0 {
+			any = true
+		}
+	}
+	return any
+}
+
+// projectCuts maps original-space seed cuts onto the presolved model:
+// terms on kept variables are reindexed, terms on presolve-fixed
+// variables fold into the RHS at their fixed value (exact when the
+// seeds came from the same model — presolve is deterministic). A cut
+// whose terms all fold away is dropped, which is always sound.
+func projectCuts(cuts []Cut, pre *presolveState) []Cut {
+	if len(cuts) == 0 {
+		return nil
+	}
+	out := make([]Cut, 0, len(cuts))
+	for _, c := range cuts {
+		rc := Cut{RHS: c.RHS, Terms: make([]lp.Term, 0, len(c.Terms))}
+		ok := true
+		for _, t := range c.Terms {
+			j := int(t.Var)
+			if j < 0 || j >= len(pre.mapTo) {
+				ok = false
+				break
+			}
+			if k := pre.mapTo[j]; k >= 0 {
+				rc.Terms = append(rc.Terms, lp.Term{Var: lp.Var(k), Coef: t.Coef})
+			} else {
+				rc.RHS -= t.Coef * pre.fixedVal[j]
+			}
+		}
+		if ok && len(rc.Terms) > 0 {
+			out = append(out, rc)
+		}
+	}
+	return out
+}
+
+// liftCuts maps captured reduced-space cuts back into the original
+// variable space via the postsolve map.
+func liftCuts(cuts []Cut, pre *presolveState) []Cut {
+	out := make([]Cut, len(cuts))
+	for i, c := range cuts {
+		lc := Cut{RHS: c.RHS, Terms: make([]lp.Term, len(c.Terms))}
+		for k, t := range c.Terms {
+			lc.Terms[k] = lp.Term{Var: lp.Var(pre.keep[int(t.Var)]), Coef: t.Coef}
+		}
+		out[i] = lc
+	}
+	return out
+}
+
+// projectPseudo maps an original-space pseudo-cost snapshot onto the
+// kept variables. A shape mismatch (snapshot from a different model)
+// yields nil and the seed is ignored.
+func projectPseudo(snap *PseudoSnapshot, pre *presolveState, origVars int) *PseudoSnapshot {
+	if snap == nil || len(snap.DownSum) != origVars || len(snap.UpSum) != origVars ||
+		len(snap.DownN) != origVars || len(snap.UpN) != origVars {
+		return nil
+	}
+	n := len(pre.keep)
+	out := &PseudoSnapshot{
+		DownSum: make([]float64, n),
+		UpSum:   make([]float64, n),
+		DownN:   make([]int, n),
+		UpN:     make([]int, n),
+	}
+	for k, j := range pre.keep {
+		out.DownSum[k], out.UpSum[k] = snap.DownSum[j], snap.UpSum[j]
+		out.DownN[k], out.UpN[k] = snap.DownN[j], snap.UpN[j]
+	}
+	return out
+}
+
+// liftPseudo expands a reduced-space snapshot into the original
+// variable space (presolve-removed variables keep zero observations).
+func liftPseudo(snap *PseudoSnapshot, pre *presolveState) *PseudoSnapshot {
+	out := &PseudoSnapshot{
+		DownSum: make([]float64, pre.origVars),
+		UpSum:   make([]float64, pre.origVars),
+		DownN:   make([]int, pre.origVars),
+		UpN:     make([]int, pre.origVars),
+	}
+	for k, j := range pre.keep {
+		out.DownSum[j], out.UpSum[j] = snap.DownSum[k], snap.UpSum[k]
+		out.DownN[j], out.UpN[j] = snap.DownN[k], snap.UpN[k]
+	}
+	return out
+}
+
+// cutRowsToCuts converts freshly separated cut rows into the exported
+// form, deep-copying terms (the rows' slices are owned by the LP after
+// AddConstraint).
+func cutRowsToCuts(rows []cutRow) []Cut {
+	out := make([]Cut, len(rows))
+	for i, r := range rows {
+		terms := make([]lp.Term, len(r.terms))
+		copy(terms, r.terms)
+		out[i] = Cut{Terms: terms, RHS: r.rhs}
+	}
+	return out
+}
+
+// copyCuts deep-copies a cut slice so captured seeds never alias the
+// caller's.
+func copyCuts(cuts []Cut) []Cut {
+	out := make([]Cut, len(cuts))
+	for i, c := range cuts {
+		terms := make([]lp.Term, len(c.Terms))
+		copy(terms, c.Terms)
+		out[i] = Cut{Terms: terms, RHS: c.RHS}
+	}
+	return out
+}
+
+// injectSeedCuts adds the caller's seed cuts (already projected into
+// the solver's reduced space) to the root relaxation with the same
+// add / re-solve / roll-back discipline as the separation rounds: a
+// re-solve that fails or goes infeasible removes every seeded row, so
+// a bad seed costs one LP and never corrupts the search. Runs before
+// separation so the separator's rounds see (and deduplicate against)
+// the seeded relaxation point.
+func (s *search) injectSeedCuts(rootSol *lp.Solution) *lp.Solution {
+	p := s.p
+	if s.ctx.Err() != nil {
+		s.interrupted = lp.Canceled
+		return rootSol
+	}
+	mark := p.lp.NumConstraints()
+	for _, c := range s.opts.SeedCuts {
+		p.lp.AddConstraint(lp.LE, c.RHS, c.Terms...)
+	}
+	ns, err := p.lp.SolveContext(s.ctx)
+	if err != nil {
+		p.lp.TruncateConstraints(mark)
+		return rootSol
+	}
+	s.addEffort(ns)
+	if ns.Status != lp.Optimal {
+		p.lp.TruncateConstraints(mark)
+		if ns.Status == lp.Canceled || ns.Status == lp.IterLimit {
+			s.interrupted = ns.Status
+		}
+		return rootSol
+	}
+	s.cutsSeeded = len(s.opts.SeedCuts)
+	if s.opts.CaptureCuts {
+		s.capturedCuts = append(s.capturedCuts, copyCuts(s.opts.SeedCuts)...)
+	}
+	s.bestBound = ns.Objective
+	return ns
+}
+
+// attachWarm adds the captured warm-start artifacts to a finished
+// Solution (reduced space; solveStrengthened lifts them).
+func (s *search) attachWarm(sol *Solution) *Solution {
+	sol.CutsSeeded = s.cutsSeeded
+	if s.opts.CaptureCuts && len(s.capturedCuts) > 0 {
+		sol.Cuts = s.capturedCuts
+	}
+	if s.opts.CapturePseudo && s.pc != nil {
+		sol.Pseudo = s.pc.snapshot()
+	}
+	return sol
+}

@@ -1,0 +1,185 @@
+package mip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lp"
+)
+
+// TestWarmArtifactsPreserveValue is the value-preservation property of
+// the cross-solve warm-start plumbing: capturing cuts, pseudo-costs
+// and the incumbent from a solve and seeding all three into a fresh
+// solve of the SAME instance must not change feasibility status or the
+// optimal objective. Across the suite every artifact kind must engage
+// at least once (cuts captured, seeds accepted, pseudo observations
+// recorded), so the property is not vacuously green.
+func TestWarmArtifactsPreserveValue(t *testing.T) {
+	cutsCaptured, seedsAccepted, pseudoObs := 0, 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		cold := buildRandomMIP(seed, Options{CaptureCuts: true, CapturePseudo: true})
+		cs, err := cold.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		cutsCaptured += len(cs.Cuts)
+		pseudoObs += cs.Pseudo.Observations()
+
+		warm := buildRandomMIP(seed, Options{
+			SeedCuts:   cs.Cuts,
+			SeedPseudo: cs.Pseudo,
+			Incumbent:  cs.X,
+		})
+		ws, err := warm.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", seed, err)
+		}
+		seedsAccepted += ws.CutsSeeded
+		if ws.Status != cs.Status {
+			t.Fatalf("seed %d: status %v (warm) vs %v (cold)", seed, ws.Status, cs.Status)
+		}
+		if cs.Status != lp.Optimal {
+			continue
+		}
+		if math.Abs(ws.Objective-cs.Objective) > 1e-6 {
+			t.Fatalf("seed %d: objective %g (warm) vs %g (cold)", seed, ws.Objective, cs.Objective)
+		}
+		if len(ws.X) != warm.NumVariables() {
+			t.Fatalf("seed %d: warm solution has %d values for %d variables", seed, len(ws.X), warm.NumVariables())
+		}
+		if obj, feasible := warm.lp.Evaluate(ws.X); !feasible || math.Abs(obj-ws.Objective) > 1e-6 {
+			t.Fatalf("seed %d: warm solution infeasible or off-objective (feasible=%v obj=%g want %g)",
+				seed, feasible, obj, ws.Objective)
+		}
+		// Captured cuts live in the caller's variable space.
+		for _, c := range cs.Cuts {
+			for _, tm := range c.Terms {
+				if int(tm.Var) < 0 || int(tm.Var) >= cold.NumVariables() {
+					t.Fatalf("seed %d: captured cut references variable %d of %d", seed, tm.Var, cold.NumVariables())
+				}
+			}
+		}
+	}
+	if cutsCaptured == 0 {
+		t.Fatal("no solve captured any cut: the capture plumbing never engaged")
+	}
+	if seedsAccepted == 0 {
+		t.Fatal("no warm solve accepted a seeded cut: the injection plumbing never engaged")
+	}
+	if pseudoObs == 0 {
+		t.Fatal("no solve captured pseudo-cost observations")
+	}
+}
+
+// TestSeedCutsRollbackOnGarbage: a seeded cut that makes the root LP
+// infeasible must be rolled back wholesale — the solve proceeds cold
+// and still returns the true optimum, reporting zero accepted seeds.
+func TestSeedCutsRollbackOnGarbage(t *testing.T) {
+	build := func(o Options) (*Problem, []lp.Var) {
+		p := NewProblem(lp.Maximize)
+		xs := make([]lp.Var, 4)
+		for j := range xs {
+			xs[j] = p.AddBinaryVariable("x", float64(4+j))
+		}
+		p.AddConstraint(lp.LE, 5,
+			lp.Term{Var: xs[0], Coef: 2}, lp.Term{Var: xs[1], Coef: 3},
+			lp.Term{Var: xs[2], Coef: 4}, lp.Term{Var: xs[3], Coef: 5})
+		p.SetOptions(o)
+		return p, xs
+	}
+	ref, _ := build(Options{})
+	want, err := ref.Solve()
+	if err != nil || want.Status != lp.Optimal {
+		t.Fatalf("reference solve: %v status %v", err, want.Status)
+	}
+	p, xs := build(Options{})
+	garbage := []Cut{{RHS: -5, Terms: []lp.Term{{Var: xs[0], Coef: 1}, {Var: xs[1], Coef: 1}}}}
+	o := Options{SeedCuts: garbage}
+	p.SetOptions(o)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal || math.Abs(sol.Objective-want.Objective) > 1e-9 {
+		t.Fatalf("garbage seed corrupted the solve: status %v objective %g want %g",
+			sol.Status, sol.Objective, want.Objective)
+	}
+	if sol.CutsSeeded != 0 {
+		t.Fatalf("CutsSeeded = %d after a rolled-back seed batch, want 0", sol.CutsSeeded)
+	}
+}
+
+// hardKnapsack builds a subset-sum-flavored knapsack whose tree search
+// runs long enough to trigger the lazy strong-branching probes.
+func hardKnapsack(o Options) *Problem {
+	p := NewProblem(lp.Maximize)
+	total := 0.0
+	var terms []lp.Term
+	for j := 0; j < 13; j++ {
+		w := float64(2*j + 3)
+		total += w
+		v := p.AddBinaryVariable("x", w)
+		terms = append(terms, lp.Term{Var: v, Coef: w})
+	}
+	// Capacity just under half the total and unreachable exactly, so
+	// the relaxation stays fractional deep into the tree.
+	p.AddConstraint(lp.LE, math.Floor(total/2)-0.5, terms...)
+	o.NoCuts = true // keep the tree honest: no root cuts closing the gap
+	p.SetOptions(o)
+	return p
+}
+
+// TestSeedPseudoStandsInForStrongBranching: when a seeded pseudo-cost
+// table carries real observations, the warm solve must skip the root
+// strong-branching probes entirely (they only approximate what the
+// seed already knows) and still land on the cold objective.
+func TestSeedPseudoStandsInForStrongBranching(t *testing.T) {
+	cold := hardKnapsack(Options{CapturePseudo: true})
+	cs, err := cold.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Status != lp.Optimal {
+		t.Fatalf("cold status %v", cs.Status)
+	}
+	if cs.StrongBranches == 0 {
+		t.Skip("instance closed before the strong-branching trigger; probe-skip not observable")
+	}
+	if cs.Pseudo.Observations() == 0 {
+		t.Fatal("cold solve recorded no pseudo-cost observations to seed")
+	}
+	warm := hardKnapsack(Options{SeedPseudo: cs.Pseudo})
+	ws, err := warm.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Status != lp.Optimal || math.Abs(ws.Objective-cs.Objective) > 1e-9 {
+		t.Fatalf("warm solve diverged: status %v objective %g want %g", ws.Status, ws.Objective, cs.Objective)
+	}
+	if ws.StrongBranches != 0 {
+		t.Fatalf("warm solve ran %d strong-branching probes despite a seeded table", ws.StrongBranches)
+	}
+}
+
+// TestWarmSeedsPrune: on the hard knapsack, seeding the full artifact
+// set (incumbent + pseudo-costs) must not expand the tree — the point
+// of carrying artifacts is to prune, and a warm solve exploring more
+// nodes than cold would mean the plumbing misfires.
+func TestWarmSeedsPrune(t *testing.T) {
+	cold := hardKnapsack(Options{CapturePseudo: true})
+	cs, err := cold.Solve()
+	if err != nil || cs.Status != lp.Optimal {
+		t.Fatalf("cold: %v status %v", err, cs.Status)
+	}
+	warm := hardKnapsack(Options{SeedPseudo: cs.Pseudo, Incumbent: cs.X})
+	ws, err := warm.Solve()
+	if err != nil || ws.Status != lp.Optimal {
+		t.Fatalf("warm: %v status %v", err, ws.Status)
+	}
+	if math.Abs(ws.Objective-cs.Objective) > 1e-9 {
+		t.Fatalf("objective %g warm vs %g cold", ws.Objective, cs.Objective)
+	}
+	if ws.Nodes > cs.Nodes {
+		t.Fatalf("warm solve explored more nodes than cold (%d > %d)", ws.Nodes, cs.Nodes)
+	}
+}

@@ -161,6 +161,8 @@ func ExactCover(ctx context.Context, in *core.Instance, k float64, opts cover.Ex
 	pl.Stats.SubtreeTasks = res.SubtreeTasks
 	pl.Stats.Steals = res.Steals
 	pl.Stats.DominancePrunes = res.DominancePrunes
+	pl.Stats.Pivots = res.Pivots
+	pl.Stats.WarmStarts = res.WarmStarts
 	return pl
 }
 

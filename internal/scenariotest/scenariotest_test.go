@@ -10,8 +10,8 @@ import (
 
 // harnessMatrix is the short-mode metamorphic matrix: every registered
 // family (6 ≥ the acceptance floor of 5) at two capped sizes, two
-// seeds each, against all five invariants — the registered tap (7
-// solvers), beacon (3) and sampling (1) entries all participate via
+// seeds each, against all six invariants — the registered tap (9
+// solvers), beacon (3) and sampling (2) entries all participate via
 // the invariant bodies. Long mode widens sizes and seeds.
 func harnessMatrix(t *testing.T) ([]Case, []Invariant) {
 	t.Helper()
@@ -44,14 +44,14 @@ func harnessMatrix(t *testing.T) ([]Case, []Invariant) {
 }
 
 // TestMetamorphicHarness is the acceptance suite: ≥5 generator
-// families × ≥3 solvers against all five invariants.
+// families × ≥3 solvers against all six invariants.
 func TestMetamorphicHarness(t *testing.T) {
 	cases, invs := harnessMatrix(t)
 	if fams := scenario.Families(); len(fams) < 5 {
 		t.Fatalf("want ≥5 registered families, have %v", fams)
 	}
-	if len(invs) != 5 {
-		t.Fatalf("want the 5-invariant catalog, have %d", len(invs))
+	if len(invs) != 6 {
+		t.Fatalf("want the 6-invariant catalog, have %d", len(invs))
 	}
 	failures, err := Run(context.Background(), engine.New(engine.Options{}), cases, invs)
 	if err != nil {

@@ -1,0 +1,156 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// badVolume reports volumes core.Validate would reject.
+func badVolume(v float64) bool {
+	return !(v > 0) || math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// TestChurnWithDeltaRecord: the mutation record matches what actually
+// happened — counts add up, factors stay inside the configured range,
+// and the wrapper Churn returns the identical demand set.
+func TestChurnWithDeltaRecord(t *testing.T) {
+	pop := modelPOP(11)
+	dem := Demands(pop, Config{Seed: 12})
+	cfg := ChurnConfig{Seed: 13, Drop: 0.3, Add: 0.25, RescaleLow: 0.5, RescaleHigh: 2}
+	out, delta, err := ChurnWithDelta(pop, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dem) - delta.Dropped + delta.Added; got != len(out) {
+		t.Fatalf("counts do not add up: %d - %d + %d != %d", len(dem), delta.Dropped, delta.Added, len(out))
+	}
+	if delta.Rescaled != len(out) {
+		t.Fatalf("every output demand is rescaled; got %d of %d", delta.Rescaled, len(out))
+	}
+	if delta.MinFactor < cfg.RescaleLow || delta.MaxFactor > cfg.RescaleHigh || delta.MinFactor > delta.MaxFactor {
+		t.Fatalf("factor range [%g, %g] outside configured [%g, %g]",
+			delta.MinFactor, delta.MaxFactor, cfg.RescaleLow, cfg.RescaleHigh)
+	}
+	if delta.Clamped != 0 {
+		t.Fatalf("clean input clamped %d volumes", delta.Clamped)
+	}
+	wrapped, err := Churn(pop, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrapped) != len(out) {
+		t.Fatalf("Churn wrapper diverged: %d vs %d demands", len(wrapped), len(out))
+	}
+	for i := range out {
+		if wrapped[i] != out[i] {
+			t.Fatalf("Churn wrapper diverged at %d: %+v vs %+v", i, wrapped[i], out[i])
+		}
+	}
+}
+
+// TestChurnSanitizesGarbageVolumes: NaN, ±Inf, zero and negative input
+// volumes must never survive into the output (the old guard's <= 0
+// comparison waved NaN and +Inf straight through).
+func TestChurnSanitizesGarbageVolumes(t *testing.T) {
+	pop := modelPOP(14)
+	a, b := pop.Endpoints[0], pop.Endpoints[1]
+	dem := []Demand{
+		{Src: a, Dst: b, Volume: math.NaN()},
+		{Src: b, Dst: a, Volume: math.Inf(1)},
+		{Src: a, Dst: b, Volume: math.Inf(-1)},
+		{Src: b, Dst: a, Volume: -3},
+		{Src: a, Dst: b, Volume: 0},
+		{Src: b, Dst: a, Volume: 7},
+	}
+	// Drop ~0 so the garbage rows survive into the rescale stage.
+	out, delta, err := ChurnWithDelta(pop, dem, ChurnConfig{Seed: 1, Drop: 1e-12, Add: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range out {
+		if badVolume(d.Volume) {
+			t.Fatalf("output %d carries unusable volume %g", i, d.Volume)
+		}
+	}
+	if delta.Clamped == 0 {
+		t.Fatal("garbage input produced no clamps — the guard never fired")
+	}
+	if err := checkRoutable(pop, out); err != nil {
+		t.Fatalf("sanitized churn output not routable: %v", err)
+	}
+}
+
+// TestChurnPropertyNoBadVolumes sweeps seeds and configs: churned
+// matrices never contain negative/NaN/Inf demands, mirroring the
+// topology hardening property tests.
+func TestChurnPropertyNoBadVolumes(t *testing.T) {
+	pop := modelPOP(15)
+	base := Demands(pop, Config{Seed: 16})
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		cfg := ChurnConfig{
+			Seed:        rng.Int63(),
+			Drop:        rng.Float64() * 0.9,
+			Add:         rng.Float64() * 0.9,
+			RescaleLow:  0.1 + rng.Float64(),
+			RescaleHigh: 1.2 + rng.Float64()*3,
+		}
+		dem := base
+		// Every third trial seeds garbage volumes into the input.
+		if trial%3 == 0 {
+			dem = append([]Demand(nil), base...)
+			dem[rng.Intn(len(dem))].Volume = math.NaN()
+			dem[rng.Intn(len(dem))].Volume = math.Inf(1)
+			dem[rng.Intn(len(dem))].Volume = -rng.Float64()
+		}
+		out, delta, err := ChurnWithDelta(pop, dem, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, d := range out {
+			if badVolume(d.Volume) {
+				t.Fatalf("trial %d: output %d has volume %g", trial, i, d.Volume)
+			}
+			if d.Src == d.Dst {
+				t.Fatalf("trial %d: self-demand", trial)
+			}
+		}
+		if delta.Rescaled > 0 && (delta.MinFactor < cfg.RescaleLow || delta.MaxFactor > cfg.RescaleHigh) {
+			t.Fatalf("trial %d: factors [%g, %g] escaped [%g, %g]",
+				trial, delta.MinFactor, delta.MaxFactor, cfg.RescaleLow, cfg.RescaleHigh)
+		}
+	}
+}
+
+// FuzzChurn drives ChurnWithDelta with arbitrary configs and volumes:
+// it must either error or return a demand set with only usable volumes
+// and a self-consistent delta — never panic.
+func FuzzChurn(f *testing.F) {
+	f.Add(int64(1), 0.2, 0.2, 0.5, 2.0, 10.0, 20.0, 30.0)
+	f.Add(int64(2), 0.0, 0.0, 0.0, 0.0, math.NaN(), math.Inf(1), -5.0)
+	f.Add(int64(3), 1.0, 0.9, 0.1, 4.0, 0.0, 1e300, 1e-300)
+	f.Add(int64(4), 0.5, 0.5, 2.0, 1.0, 1.0, 1.0, 1.0) // inverted range → error
+	pop := modelPOP(18)
+	a, b := pop.Endpoints[0], pop.Endpoints[1]
+	f.Fuzz(func(t *testing.T, seed int64, drop, add, lo, hi, v1, v2, v3 float64) {
+		dem := []Demand{
+			{Src: a, Dst: b, Volume: v1},
+			{Src: b, Dst: a, Volume: v2},
+			{Src: a, Dst: b, Volume: v3},
+		}
+		cfg := ChurnConfig{Seed: seed, Drop: drop, Add: add, RescaleLow: lo, RescaleHigh: hi}
+		out, delta, err := ChurnWithDelta(pop, dem, cfg)
+		if err != nil {
+			return
+		}
+		if got := len(dem) - delta.Dropped + delta.Added; got != len(out) {
+			t.Fatalf("counts do not add up: %d - %d + %d != %d", len(dem), delta.Dropped, delta.Added, len(out))
+		}
+		for i, d := range out {
+			if badVolume(d.Volume) {
+				t.Fatalf("output %d has unusable volume %g (in: %g %g %g)", i, d.Volume, v1, v2, v3)
+			}
+		}
+	})
+}

@@ -155,6 +155,27 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 	return c
 }
 
+// ChurnDelta records the mutation Churn applied, so callers (and the
+// session layer's tests) can assert the delta is bounded: how many
+// demands were dropped and added, and the observed rescale-factor
+// range over the surviving rows.
+type ChurnDelta struct {
+	// Dropped and Added count removed and fresh demands.
+	Dropped int
+	Added   int
+	// Rescaled counts demands whose volume was multiplied by a factor;
+	// MinFactor and MaxFactor bound the factors actually drawn (both 0
+	// when Rescaled is 0). Always within [cfg.RescaleLow,
+	// cfg.RescaleHigh].
+	Rescaled  int
+	MinFactor float64
+	MaxFactor float64
+	// Clamped counts output volumes the sanitation guard replaced
+	// because they came out non-positive or non-finite (possible only
+	// when the input already carried garbage volumes).
+	Clamped int
+}
+
 // Churn mutates a demand set the way a live POP drifts between
 // re-optimizations (§5.4's dynamic scenarios): a fraction of traffics
 // disappears, fresh traffics appear between random endpoint pairs (at
@@ -162,29 +183,55 @@ func (c ChurnConfig) withDefaults() ChurnConfig {
 // a random factor. The input slice is not modified. It errors when the
 // POP has fewer than 2 endpoints and demands must be added.
 func Churn(pop *topology.POP, demands []Demand, cfg ChurnConfig) ([]Demand, error) {
+	out, _, err := ChurnWithDelta(pop, demands, cfg)
+	return out, err
+}
+
+// ChurnWithDelta is Churn plus the applied-mutation record. The output
+// demands never carry negative, zero, NaN or Inf volumes, even when
+// the input does: such volumes are clamped to a small positive
+// fallback (and counted in ChurnDelta.Clamped).
+func ChurnWithDelta(pop *topology.POP, demands []Demand, cfg ChurnConfig) ([]Demand, ChurnDelta, error) {
 	cfg = cfg.withDefaults()
-	if cfg.RescaleLow <= 0 || cfg.RescaleHigh < cfg.RescaleLow {
-		return nil, fmt.Errorf("traffic: bad rescale range [%g, %g]", cfg.RescaleLow, cfg.RescaleHigh)
+	var delta ChurnDelta
+	if cfg.RescaleLow <= 0 || cfg.RescaleHigh < cfg.RescaleLow || math.IsInf(cfg.RescaleHigh, 0) || math.IsNaN(cfg.RescaleLow) || math.IsNaN(cfg.RescaleHigh) {
+		return nil, delta, fmt.Errorf("traffic: bad rescale range [%g, %g]", cfg.RescaleLow, cfg.RescaleHigh)
+	}
+	if !(cfg.Drop >= 0 && cfg.Drop <= 1) {
+		return nil, delta, fmt.Errorf("traffic: drop fraction %g outside [0, 1]", cfg.Drop)
+	}
+	// A growth factor above 1000× is a config bug, not churn; the bound
+	// also keeps hostile fractions from demanding absurd allocations.
+	if !(cfg.Add >= 0 && cfg.Add <= 1000) {
+		return nil, delta, fmt.Errorf("traffic: add fraction %g outside [0, 1000]", cfg.Add)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	var out []Demand
 	var mean float64
+	finite := 0
 	for _, d := range demands {
 		if rng.Float64() < cfg.Drop {
+			delta.Dropped++
 			continue
 		}
 		out = append(out, d)
-		mean += d.Volume
+		// The mean seeds fresh-demand volumes and the clamp fallback:
+		// average only the usable inputs so one NaN or Inf row cannot
+		// poison every added demand.
+		if d.Volume > 0 && !math.IsInf(d.Volume, 1) {
+			mean += d.Volume
+			finite++
+		}
 	}
-	if len(out) > 0 {
-		mean /= float64(len(out))
+	if finite > 0 {
+		mean /= float64(finite)
 	} else {
 		mean = 10
 	}
 	add := int(float64(len(demands))*cfg.Add + 0.5)
 	eps := pop.Endpoints
 	if add > 0 && len(eps) < 2 {
-		return nil, fmt.Errorf("traffic: churn needs ≥2 endpoints to add demands, got %d", len(eps))
+		return nil, delta, fmt.Errorf("traffic: churn needs ≥2 endpoints to add demands, got %d", len(eps))
 	}
 	for i := 0; i < add; i++ {
 		s := eps[rng.Intn(len(eps))]
@@ -194,17 +241,32 @@ func Churn(pop *topology.POP, demands []Demand, cfg ChurnConfig) ([]Demand, erro
 		}
 		out = append(out, Demand{Src: s, Dst: d, Volume: mean * (0.5 + rng.Float64())})
 	}
+	delta.Added = add
 	for i := range out {
 		f := cfg.RescaleLow + rng.Float64()*(cfg.RescaleHigh-cfg.RescaleLow)
 		out[i].Volume *= f
-	}
-	// Guard against zero-volume demands (core.Validate rejects them).
-	for i := range out {
-		if out[i].Volume <= 0 {
-			out[i].Volume = mean / 100
+		delta.Rescaled++
+		if delta.Rescaled == 1 {
+			delta.MinFactor, delta.MaxFactor = f, f
+		} else {
+			if f < delta.MinFactor {
+				delta.MinFactor = f
+			}
+			if f > delta.MaxFactor {
+				delta.MaxFactor = f
+			}
 		}
 	}
-	return out, nil
+	// Guard against unusable volumes (core.Validate rejects them). The
+	// <= 0 comparison alone would wave NaN (every comparison false) and
+	// +Inf straight through, so test finiteness explicitly.
+	for i := range out {
+		if v := out[i].Volume; !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			out[i].Volume = mean / 100
+			delta.Clamped++
+		}
+	}
+	return out, delta, nil
 }
 
 // Aggregate merges duplicate (src, dst) demands by summing their

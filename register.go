@@ -67,7 +67,11 @@ func init() {
 		return passive.SolveILP(ctx, in, o.Coverage, ilpOptions(passive.LP1, o))
 	})
 	tap(SolverTapExact, func(ctx context.Context, in *Instance, o Options) (TapPlacement, error) {
-		return passive.ExactCover(ctx, in, o.Coverage, cover.ExactOptions{MaxNodes: o.MaxNodes}), nil
+		return passive.ExactCover(ctx, in, o.Coverage, cover.ExactOptions{
+			MaxNodes: o.MaxNodes,
+			Warm:     o.warmCover,
+			Capture:  o.captureCover,
+		}), nil
 	})
 	tap(SolverTapRounding, func(ctx context.Context, in *Instance, o Options) (TapPlacement, error) {
 		return passive.RandomizedRounding(ctx, in, o.Coverage, o.Seed)

@@ -2,7 +2,12 @@ package repro
 
 import (
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
+
+// ChurnDelta records the mutation a churn step applied (rows dropped
+// and added, rescale-factor range) — see traffic.ChurnWithDelta.
+type ChurnDelta = traffic.ChurnDelta
 
 // Scenario-family subsystem (internal/scenario): seeded workload
 // generators beyond the paper's two Rocketfuel-derived sizes,
@@ -40,6 +45,37 @@ func GenerateScenario(family string, size int, seed int64) (*Scenario, error) {
 //	problems, err := repro.ScenarioBatch("waxman", 40, []int64{1, 2, 3})
 //	results, err := repro.SolveBatch(ctx, "tap/portfolio", problems,
 //	        repro.WithCoverage(0.95))
+//
+// ChurnSteps builds a churn replay chain from a scenario: element 0 is
+// the scenario's base instance, element i > 0 is the instance after i
+// successive traffic.Churn mutations (drop/add/rescale, seeded from
+// the scenario seed — deterministic in (scenario, steps)). deltas[i-1]
+// records what mutation produced chain[i]. This is the workload
+// Session.Resolve exists for: feed chain[0] to Solve and the rest to
+// Resolve, and compare Stats against cold solves of the same chain.
+func ChurnSteps(s *Scenario, steps int) (chain []*Instance, deltas []ChurnDelta, err error) {
+	dem := s.Demands
+	in, err := RouteSingle(s.POP, traffic.Aggregate(dem))
+	if err != nil {
+		return nil, nil, err
+	}
+	chain = append(chain, in)
+	for step := 1; step <= steps; step++ {
+		mutated, delta, err := traffic.ChurnWithDelta(s.POP, dem, traffic.ChurnConfig{Seed: s.Seed + int64(step)})
+		if err != nil {
+			return nil, nil, err
+		}
+		in, err := RouteSingle(s.POP, traffic.Aggregate(mutated))
+		if err != nil {
+			return nil, nil, err
+		}
+		chain = append(chain, in)
+		deltas = append(deltas, delta)
+		dem = mutated
+	}
+	return chain, deltas, nil
+}
+
 func ScenarioBatch(family string, size int, seeds []int64) ([]Problem, error) {
 	problems := make([]Problem, 0, len(seeds))
 	for _, seed := range seeds {
